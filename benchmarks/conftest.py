@@ -1,0 +1,32 @@
+"""Shared helpers for the paper-reproduction benchmark suite.
+
+Every ``test_fig*``/``test_table*`` bench regenerates one table or
+figure from the paper's §5.  Each prints its table and persists it under
+``benchmarks/results/`` so the numbers survive the pytest run.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations — repeating them only
+    repeats identical work, so a single round is the honest measurement.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit(table_text, name):
+    """Print a rendered table and persist it to the results directory."""
+    from repro.bench.tables import save_result
+
+    print()
+    print(table_text)
+    path = save_result(name, table_text)
+    print("[saved to %s]" % path)
+
+
+@pytest.fixture
+def report():
+    return emit

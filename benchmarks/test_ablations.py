@@ -1,0 +1,201 @@
+"""Ablations over TimeSSD's design choices (see DESIGN.md).
+
+These are not paper figures; they quantify the design decisions §3
+argues for: delta compression, bloom grouping, the Equation-1 threshold,
+and idle-time background work.
+"""
+
+import pytest
+
+from repro.bench.ablations import (
+    ablate_background_work,
+    ablate_bloom_group_size,
+    ablate_delta_compression,
+    ablate_gc_threshold,
+)
+from repro.bench.tables import format_table
+
+from benchmarks.conftest import emit, run_once
+
+HEADERS = ("config", "retention (d)", "WA", "mean resp (us)", "bloom mem (B)")
+
+
+def _rows(points):
+    return [
+        (
+            p.label,
+            p.retention_days,
+            p.write_amplification,
+            p.mean_response_us,
+            p.bloom_memory_bytes,
+        )
+        for p in points
+    ]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_delta_compression(benchmark):
+    points = run_once(benchmark, ablate_delta_compression)
+    emit(
+        format_table(HEADERS, _rows(points), title="Ablation: delta compression (§3.6)"),
+        "ablation_delta_compression",
+    )
+    on, off = points
+    # Compression's benefit at equal workload: either the uncompressed
+    # device cannot even sustain the retention floor (it stops serving
+    # I/O), or — when both survive — compression writes less flash when
+    # GC relocates retained history (§3.6 — "GC overhead is reduced").
+    assert not on.aborted
+    if not off.aborted:
+        assert on.write_amplification <= off.write_amplification
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_bloom_group_size(benchmark):
+    points = run_once(benchmark, ablate_bloom_group_size)
+    emit(
+        format_table(HEADERS, _rows(points), title="Ablation: bloom group size N (§3.5)"),
+        "ablation_bloom_group_size",
+    )
+    by_label = {p.label: p for p in points}
+    # Larger groups need less bloom memory (fewer distinct entries).
+    assert (
+        by_label["group-size=64"].bloom_memory_bytes
+        <= by_label["group-size=1"].bloom_memory_bytes
+    )
+    # No configuration breaks correctness (runs completed).
+    assert all(not p.aborted for p in points)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_gc_threshold(benchmark):
+    points = run_once(benchmark, ablate_gc_threshold)
+    emit(
+        format_table(HEADERS, _rows(points), title="Ablation: Equation-1 threshold TH (§3.8)"),
+        "ablation_gc_threshold",
+    )
+    # A looser threshold may only lengthen retention.
+    retentions = [p.retention_days for p in points]
+    assert retentions == sorted(retentions) or max(retentions) - min(retentions) < 1.0
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_background_work(benchmark):
+    points = run_once(benchmark, ablate_background_work)
+    emit(
+        format_table(HEADERS, _rows(points), title="Ablation: idle-time background work (§3.6)"),
+        "ablation_background_work",
+    )
+    on, off = points
+    # Foreground-only housekeeping shows up in response time.
+    assert off.mean_response_us >= on.mean_response_us
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_mapping_cache(benchmark):
+    from repro.bench.ablations import ablate_mapping_cache
+
+    points = run_once(benchmark, ablate_mapping_cache)
+    emit(
+        format_table(HEADERS, _rows(points), title="Ablation: DFTL mapping cache"),
+        "ablation_mapping_cache",
+    )
+    by_label = {p.label: p for p in points}
+    # A tiny demand cache pays translation I/O on the critical path.
+    assert (
+        by_label["mapping-cache=256"].mean_response_us
+        >= by_label["mapping-cache=full"].mean_response_us
+    )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_compression_acceleration(benchmark):
+    from repro.bench.ablations import ablate_compression_acceleration
+
+    software, accelerated = run_once(benchmark, ablate_compression_acceleration)
+    rows = [
+        (
+            "software codec",
+            software.timessd_recovery_s * 1000.0,
+            software.flashguard_recovery_s * 1000.0,
+            (software.timessd_recovery_s - software.flashguard_recovery_s) * 1000.0,
+        ),
+        (
+            "accelerated codec",
+            accelerated.timessd_recovery_s * 1000.0,
+            accelerated.flashguard_recovery_s * 1000.0,
+            (accelerated.timessd_recovery_s - accelerated.flashguard_recovery_s)
+            * 1000.0,
+        ),
+    ]
+    emit(
+        format_table(
+            ("config", "TimeSSD (ms)", "FlashGuard (ms)", "decompression gap (ms)"),
+            rows,
+            title="Ablation: hardware-accelerated (de)compression (§5.5.1)",
+        ),
+        "ablation_compression_acceleration",
+    )
+    assert software.timessd_verified and accelerated.timessd_verified
+    # Acceleration narrows the decompression gap vs FlashGuard.
+    gap_sw = software.timessd_recovery_s - software.flashguard_recovery_s
+    gap_hw = accelerated.timessd_recovery_s - accelerated.flashguard_recovery_s
+    assert gap_hw <= gap_sw
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_device_parallelism(benchmark):
+    from repro.bench.ablations import ablate_device_parallelism
+
+    points = run_once(benchmark, ablate_device_parallelism)
+    rows = [(p.label, p.mean_response_us / 1000.0, p.write_amplification) for p in points]
+    emit(
+        format_table(
+            ("config", "TimeQuery (ms)", "WA"),
+            rows,
+            title="Ablation: internal parallelism vs full-scan query latency (§3.9)",
+        ),
+        "ablation_device_parallelism",
+    )
+    latencies = [p.mean_response_us for p in points]
+    # More channels -> faster full-device scans, monotonically.
+    assert latencies == sorted(latencies, reverse=True)
+    # Going 2 -> 8 channels should buy at least ~2x.
+    assert latencies[0] > 2.0 * latencies[-1]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_gc_policy(benchmark):
+    from repro.bench.ablations import ablate_gc_policy
+
+    points = run_once(benchmark, ablate_gc_policy)
+    emit(
+        format_table(HEADERS, _rows(points), title="Ablation: GC victim policy under hot/cold skew"),
+        "ablation_gc_policy",
+    )
+    by_label = {p.label: p for p in points}
+    # Cost-benefit should be at least competitive with greedy under skew.
+    assert (
+        by_label["gc-policy=cost_benefit"].write_amplification
+        <= by_label["gc-policy=greedy"].write_amplification * 1.15
+    )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_queue_depth(benchmark):
+    from repro.bench.ablations import ablate_queue_depth
+
+    points = run_once(benchmark, ablate_queue_depth)
+    rows = [(p.label, p.mean_response_us) for p in points]
+    emit(
+        format_table(
+            ("queue depth", "random-read IOPS (simulated)"),
+            rows,
+            title="Ablation: NVMe queue depth vs device parallelism",
+        ),
+        "ablation_queue_depth",
+    )
+    iops = [p.mean_response_us for p in points]
+    # Deeper queues never hurt, and the jump from QD=1 to QD=8 is large.
+    assert iops == sorted(iops)
+    assert iops[3] > 3.0 * iops[0]  # QD=8 vs QD=1 on an 8-channel device

@@ -1,0 +1,72 @@
+"""Figure 8 — data retention duration vs trace length and capacity usage.
+
+Paper result: retention ranges from the 3-day floor to 56 days; lower
+usage and lighter (university) workloads retain longer; retention grows
+with trace length until the workload's steady-state cap.
+
+Reproduction claims (shape):
+* every volume retains at least ~the 3-day floor (unless aborted);
+* per volume, retention at 50% usage >= retention at 80%;
+* FIU volumes retain at least as long as the heaviest MSR volumes.
+"""
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.bench.trace_experiments import retention_rows
+
+from benchmarks.conftest import emit, run_once
+
+MSR_LENGTHS = (28, 42, 56)
+FIU_LENGTHS = (20, 30, 40)
+
+
+def _table(series_by_volume, lengths, title, name):
+    headers = ("volume",) + tuple("%d d" % d for d in lengths)
+    rows = []
+    for volume, series in series_by_volume.items():
+        rows.append(
+            (volume,)
+            + tuple(
+                "%.1f%s" % (ret, "*" if aborted else "")
+                for _days, ret, aborted in series
+            )
+        )
+    emit(format_table(headers, rows, title=title + "  (* = stopped serving I/O)"), name)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8a_retention_msr_80(benchmark):
+    series = run_once(benchmark, lambda: retention_rows("msr", 0.8, MSR_LENGTHS))
+    _table(series, MSR_LENGTHS, "Figure 8a: retention (days), MSR @ 80% usage", "fig8a_retention_msr_80")
+    finals = [s[-1][1] for s in series.values()]
+    assert all(f >= 2.5 for f in finals)  # at or above the floor
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8b_retention_msr_50(benchmark):
+    series = run_once(benchmark, lambda: retention_rows("msr", 0.5, MSR_LENGTHS))
+    _table(series, MSR_LENGTHS, "Figure 8b: retention (days), MSR @ 50% usage", "fig8b_retention_msr_50")
+    series_80 = retention_rows("msr", 0.8, MSR_LENGTHS)  # memoized
+    for volume in series:
+        assert series[volume][-1][1] >= series_80[volume][-1][1] * 0.9
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8c_retention_fiu_80(benchmark):
+    series = run_once(benchmark, lambda: retention_rows("fiu", 0.8, FIU_LENGTHS))
+    _table(series, FIU_LENGTHS, "Figure 8c: retention (days), FIU @ 80% usage", "fig8c_retention_fiu_80")
+    assert all(s[-1][1] >= 2.5 for s in series.values())
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8d_retention_fiu_50(benchmark):
+    series = run_once(benchmark, lambda: retention_rows("fiu", 0.5, FIU_LENGTHS))
+    _table(series, FIU_LENGTHS, "Figure 8d: retention (days), FIU @ 50% usage", "fig8d_retention_fiu_50")
+    # University workloads at low usage retain for weeks (paper: up to 40d,
+    # company servers up to 56d) — here the cap is the trace length.
+    finals = [s[-1][1] for s in series.values()]
+    assert max(finals) >= 20.0
+    # Retention grows with trace length for the lightest volume.
+    lightest = series["webusers"]
+    assert lightest[-1][1] >= lightest[0][1]

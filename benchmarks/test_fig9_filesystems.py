@@ -1,0 +1,80 @@
+"""Figure 9 — TimeSSD vs software approaches (Ext4 journaling, F2FS).
+
+Paper results:
+* 9a (IOZone): reads and sequential writes at parity; random writes
+  3.3x over Ext4 and slightly over F2FS;
+* 9b (PostMark + OLTP): TimeSSD 1.5-2.2x over Ext4 and 1.1-1.2x over
+  F2FS; F2FS 1.2-1.8x over Ext4.
+
+Reproduction claims (shape): who wins and the ordering
+TimeSSD >= F2FS > Ext4 on write-heavy workloads; parity on reads.
+"""
+
+import pytest
+
+from repro.bench.fs_experiments import normalized, run_iozone, run_oltp, run_postmark
+from repro.bench.tables import format_table
+
+from benchmarks.conftest import emit, run_once
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9a_iozone(benchmark):
+    results = run_once(benchmark, run_iozone)
+    phases = ("SeqRead", "SeqWrite", "RandomRead", "RandomWrite")
+    rows = []
+    speedups = {}
+    for phase in phases:
+        per_stack = {stack: results[stack][phase] for stack in results}
+        norm = normalized(per_stack)
+        speedups[phase] = norm
+        rows.append(
+            (phase, norm["Ext4"], norm["F2FS"], norm["TimeSSD"])
+        )
+    emit(
+        format_table(
+            ("phase", "Ext4", "F2FS", "TimeSSD"),
+            rows,
+            title="Figure 9a: IOZone speedup normalized to Ext4",
+        ),
+        "fig9a_iozone",
+    )
+    # Reads: parity across stacks.
+    assert 0.7 < speedups["SeqRead"]["TimeSSD"] < 1.4
+    assert 0.7 < speedups["RandomRead"]["TimeSSD"] < 1.4
+    # Random writes: TimeSSD beats journaling Ext4 clearly, and is at
+    # least on par with F2FS.
+    assert speedups["RandomWrite"]["TimeSSD"] > 1.5
+    assert speedups["RandomWrite"]["TimeSSD"] >= speedups["RandomWrite"]["F2FS"] * 0.9
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9b_postmark_and_oltp(benchmark):
+    def experiment():
+        return run_postmark(), run_oltp()
+
+    postmark, oltp = run_once(benchmark, experiment)
+    rows = []
+    norm_postmark = normalized(postmark)
+    rows.append(("PostMark", norm_postmark["Ext4"], norm_postmark["F2FS"], norm_postmark["TimeSSD"]))
+    norm_oltp = {}
+    for bench_name in ("TPCC", "TPCB", "TATP"):
+        per_stack = {stack: oltp[stack][bench_name] for stack in oltp}
+        norm = normalized(per_stack)
+        norm_oltp[bench_name] = norm
+        rows.append((bench_name, norm["Ext4"], norm["F2FS"], norm["TimeSSD"]))
+    emit(
+        format_table(
+            ("workload", "Ext4", "F2FS", "TimeSSD"),
+            rows,
+            title="Figure 9b: PostMark and OLTP speedup normalized to Ext4",
+        ),
+        "fig9b_postmark_oltp",
+    )
+    # Shape: TimeSSD > Ext4 on every workload; TimeSSD >= ~F2FS.
+    for _name, _ext4, f2fs, timessd in rows:
+        assert timessd > 1.05
+        assert timessd >= f2fs * 0.9
+    # Absolute ordering of OLTP benchmarks survives the stacks:
+    for stack in ("Ext4", "F2FS", "TimeSSD"):
+        assert oltp[stack]["TATP"] > oltp[stack]["TPCB"] > oltp[stack]["TPCC"]

@@ -1,0 +1,53 @@
+"""Extension: software versioning (CoW snapshots) vs TimeSSD.
+
+Not a paper figure — quantifies the paper's §2.2/§6 argument: software
+versioning also retains history, but it costs user-visible capacity and
+dies to a privileged wipe, while TimeSSD's firmware history costs the
+user nothing visible and survives.
+"""
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.bench.versioning_experiments import run_comparison
+
+from benchmarks.conftest import emit, run_once
+
+
+@pytest.mark.benchmark(group="extension")
+def test_versioning_vs_timessd(benchmark):
+    cow, timessd = run_once(benchmark, run_comparison)
+    rows = [
+        (
+            r.stack,
+            r.elapsed_us / 1e6,
+            r.history_pages,
+            r.user_capacity_cost,
+            "yes" if r.recovered_ok else "NO",
+            "yes" if r.survives_privileged_wipe else "no",
+        )
+        for r in (cow, timessd)
+    ]
+    emit(
+        format_table(
+            (
+                "stack",
+                "elapsed (s)",
+                "history pages",
+                "user-visible cost",
+                "recovers old version",
+                "survives privileged wipe",
+            ),
+            rows,
+            title="Extension: software versioning (CoW) vs TimeSSD",
+        ),
+        "extension_versioning_comparison",
+    )
+    # Both approaches recover history while intact...
+    assert cow.recovered_ok and timessd.recovered_ok
+    # ...but only firmware retention survives a privileged attacker.
+    assert not cow.survives_privileged_wipe
+    assert timessd.survives_privileged_wipe
+    # And CoW's history eats user-visible capacity; TimeSSD's does not.
+    assert cow.user_capacity_cost > 0
+    assert timessd.user_capacity_cost == 0

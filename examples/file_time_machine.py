@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Case study: a per-file time machine (paper §5.5.2 / Figure 11).
+
+Replays a stream of synthetic source-tree commits, then reverts a file
+to an earlier moment — like `git revert`, except the "repository" is the
+SSD itself and works for any application, with no VCS in the loop.
+
+Run:  python examples/file_time_machine.py
+"""
+
+from repro.common.units import DAY_US, MINUTE_US, MS_US, format_duration
+from repro.casestudies import KERNEL_FILES, FileRevertStudy
+from repro.flash import FlashGeometry
+from repro.fs import PlainFS
+from repro.timessd import ContentMode, TimeSSD, TimeSSDConfig
+
+
+def main():
+    ssd = TimeSSD(
+        TimeSSDConfig(
+            geometry=FlashGeometry(
+                channels=8, blocks_per_plane=48, pages_per_block=32, page_size=2048
+            ),
+            content_mode=ContentMode.REAL,
+            retention_floor_us=3 * DAY_US,
+        )
+    )
+    fs = PlainFS(ssd)
+    study = FileRevertStudy(fs, files=KERNEL_FILES, pages_per_file=8, seed=42)
+    study.setup()
+
+    print("replaying 300 commits at 100 commits/minute...")
+    log = study.replay_commits(commits=300, commits_per_minute=100)
+    print(
+        "done: %d commits over %s of simulated time"
+        % (len(log), format_duration(ssd.clock.now_us))
+    )
+
+    # Revert mmap.c to one minute ago, with increasing parallelism.
+    t_past = ssd.clock.now_us - MINUTE_US
+    print("\nreverting mmap.c to one minute earlier:")
+    for threads in (1, 2, 4):
+        outcome = study.revert_file("mmap.c", t_past, threads=threads)
+        print(
+            "  %d thread(s): %6.2f ms  (content verified: %s)"
+            % (threads, outcome.elapsed_us / MS_US, "yes" if outcome.verified else "NO")
+        )
+
+    print("\nthe device's channel parallelism is what the extra threads buy —")
+    print("independent chain walks overlap across flash channels (paper Fig. 11).")
+
+
+if __name__ == "__main__":
+    main()

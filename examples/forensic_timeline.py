@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Case study: storage forensics with a tamper-proof timeline (paper §2.2).
+
+A malicious insider modifies records and then "covers their tracks" by
+deleting files and overwriting logs.  Because TimeSSD retains history
+below the block interface, the investigator reconstructs the exact
+chronology of updates — evidence the host-level attacker could not
+destroy.
+
+Run:  python examples/forensic_timeline.py
+"""
+
+from repro.common.units import HOUR_US, MINUTE_US, SECOND_US, format_duration
+from repro.flash import FlashGeometry
+from repro.fs import PlainFS
+from repro.timekits import ForensicTimeline, TimeKits
+from repro.timessd import ContentMode, TimeSSD, TimeSSDConfig
+
+
+def main():
+    ssd = TimeSSD(
+        TimeSSDConfig(
+            geometry=FlashGeometry(
+                channels=8, blocks_per_plane=32, pages_per_block=32, page_size=2048
+            ),
+            content_mode=ContentMode.REAL,
+            retention_floor_us=24 * HOUR_US,
+        )
+    )
+    fs = PlainFS(ssd)
+    page = lambda text: text.encode().ljust(fs.page_size, b"\0")
+
+    # Normal business: a ledger and an audit log, updated periodically.
+    fs.create("ledger.db")
+    fs.create("audit.log")
+    for hour in range(6):
+        fs.write_pages("ledger.db", 0, 1, [page("balance@h%d=1000" % hour)])
+        fs.write_pages("audit.log", hour % 4, 1, [page("audit h%d: ok" % hour)])
+        ssd.clock.advance(1 * HOUR_US)
+
+    # The incident: tamper with the ledger, then scrub the audit log.
+    incident_start = ssd.clock.now_us
+    fs.write_pages("ledger.db", 0, 1, [page("balance=9999 (tampered)")])
+    ssd.clock.advance(2 * MINUTE_US)
+    for i in range(4):
+        fs.write_pages("audit.log", i, 1, [page("")])  # overwrite log pages
+        ssd.clock.advance(10 * SECOND_US)
+    fs.delete("audit.log")  # ...and delete the file for good measure
+    incident_end = ssd.clock.now_us
+    ssd.clock.advance(1 * HOUR_US)
+
+    kits = TimeKits(ssd)
+    timeline = ForensicTimeline(kits)
+
+    # 1. Burst detection: the tampering shows as an activity spike.
+    counts, bucket_us, _ = timeline.activity_histogram(0, ssd.clock.now_us, buckets=16)
+    print("write-activity histogram (%s per bucket):" % format_duration(int(bucket_us)))
+    for i, count in enumerate(counts):
+        print("  bucket %2d | %s" % (i, "#" * count))
+
+    # 2. The incident's forensic footprint: exactly which pages changed.
+    touched, _ = timeline.touched_lpas_between(incident_start, incident_end)
+    print("\npages modified during the incident window: %s" % sorted(touched))
+
+    # 3. Recover the scrubbed audit log's content from before the attack.
+    ledger_lpa = fs.file_lpas("ledger.db")[0]
+    result = kits.addr_query(ledger_lpa, cnt=1, t=incident_start - 1)
+    before = result.value[ledger_lpa]
+    print("\nledger before tampering: %r" % before.data.rstrip(b"\0").decode())
+    current, _ = ssd.read(ledger_lpa)
+    print("ledger after tampering:  %r" % current.rstrip(b"\0").decode())
+    print("\nevidence chain survives OS-level scrubbing: the attacker could")
+    print("delete files and overwrite logs, but not reach below the FTL.")
+
+
+if __name__ == "__main__":
+    main()

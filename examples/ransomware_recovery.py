@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Case study: surviving an encryption-ransomware attack (paper §5.5.1).
+
+Builds a small file system on a TimeSSD, lets a Locky-style ransomware
+model encrypt it (delete-and-rewrite pattern), then recovers every file
+from the device's retained history — without any backup ever having been
+taken, and without trusting the (compromised) host OS.
+
+Run:  python examples/ransomware_recovery.py
+"""
+
+from repro.common.units import DAY_US, SECOND_US
+from repro.flash import FlashGeometry
+from repro.fs import PlainFS
+from repro.security import RANSOMWARE_FAMILIES, RansomwareAttack, RansomwareDefense
+from repro.timessd import ContentMode, TimeSSD, TimeSSDConfig
+
+
+def main():
+    ssd = TimeSSD(
+        TimeSSDConfig(
+            geometry=FlashGeometry(
+                channels=8, blocks_per_plane=32, pages_per_block=32, page_size=2048
+            ),
+            content_mode=ContentMode.REAL,
+            retention_floor_us=3 * DAY_US,
+        )
+    )
+    fs = PlainFS(ssd)
+
+    # A user's documents.
+    originals = {}
+    for i in range(20):
+        name = "thesis_chapter_%02d.tex" % i
+        fs.create(name)
+        body = ("\\section{Chapter %d}\n" % i).encode() * 60
+        fs.write(name, 0, body.ljust(3 * fs.page_size, b"\n"))
+        originals[name] = fs.read(name, 0, fs.file_size(name))
+        ssd.clock.advance(5 * SECOND_US)
+    print("created %d files" % len(originals))
+
+    # The attack: Locky encrypts a copy and deletes the original.
+    profile = RANSOMWARE_FAMILIES["Locky"]
+    report = RansomwareAttack(fs, profile, seed=99).execute()
+    print(
+        "\n%s encrypted %d files in %.1f simulated seconds"
+        % (profile.name, len(report.encrypted_files), report.duration_us / SECOND_US)
+    )
+    sample = report.encrypted_files[0]
+    print("  %r is gone; %r holds ciphertext" % (sample, sample + ".locked"))
+
+    # Recovery straight from the device's retained history.
+    defense = RansomwareDefense(fs)
+    outcome = defense.recover_with_timekits(report, threads=4)
+    print(
+        "\nrecovered %d/%d files in %.2f simulated seconds (4 threads)"
+        % (
+            outcome.files_recovered,
+            len(report.encrypted_files),
+            outcome.elapsed_us / SECOND_US,
+        )
+    )
+
+    # Verify every byte.
+    intact = all(
+        fs.read(name, 0, len(originals[name])) == originals[name]
+        for name in report.encrypted_files
+    )
+    print("byte-exact restoration: %s" % ("yes" if intact else "NO"))
+
+
+if __name__ == "__main__":
+    main()

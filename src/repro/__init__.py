@@ -1,0 +1,33 @@
+"""Project Almanac reproduction: a time-traveling SSD (EuroSys '19).
+
+Top-level convenience exports; see the subpackages for the full API:
+
+* :mod:`repro.timessd` — the TimeSSD device;
+* :mod:`repro.timekits` — storage-state queries and rollback;
+* :mod:`repro.ftl` / :mod:`repro.flash` — the baseline FTL and NAND model;
+* :mod:`repro.fs`, :mod:`repro.workloads`, :mod:`repro.security`,
+  :mod:`repro.nvme`, :mod:`repro.bench` — substrates and harnesses.
+"""
+
+__version__ = "1.0.0"
+
+from repro.common.clock import SimClock
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FlashTiming
+from repro.ftl.ssd import RegularSSD, SSDConfig
+from repro.timekits.api import TimeKits
+from repro.timessd.config import ContentMode, TimeSSDConfig
+from repro.timessd.ssd import TimeSSD
+
+__all__ = [
+    "__version__",
+    "SimClock",
+    "FlashGeometry",
+    "FlashTiming",
+    "RegularSSD",
+    "SSDConfig",
+    "TimeSSD",
+    "TimeSSDConfig",
+    "ContentMode",
+    "TimeKits",
+]

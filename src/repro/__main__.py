@@ -1,0 +1,12 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early: not an error.
+        sys.exit(0)

@@ -1,0 +1,24 @@
+"""Experiment runners behind the ``benchmarks/`` suite.
+
+Each module reproduces one table or figure from the paper's §5; the
+pytest-benchmark files under ``benchmarks/`` are thin wrappers that run
+these, print the paper-style tables, and persist them under
+``benchmarks/results/``.
+"""
+
+from repro.bench.config import (
+    bench_geometry,
+    make_bench_regular,
+    make_bench_timessd,
+    prefill,
+)
+from repro.bench.tables import format_table, save_result
+
+__all__ = [
+    "bench_geometry",
+    "make_bench_regular",
+    "make_bench_timessd",
+    "prefill",
+    "format_table",
+    "save_result",
+]

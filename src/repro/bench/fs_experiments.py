@@ -1,0 +1,100 @@
+"""File-system benchmarks — Figure 9 (IOZone, PostMark, OLTP).
+
+Three stacks, as in the paper's §5.3:
+
+* **Ext4**   — :class:`JournalingFS` (data journaling) on a regular SSD;
+* **F2FS**   — :class:`LogStructuredFS` on a regular SSD;
+* **TimeSSD** — :class:`PlainFS` (journaling disabled) on a TimeSSD.
+
+Content is real bytes so TimeSSD's delta compression behaves honestly:
+IOZone writes random (incompressible) pages; PostMark and the OLTP mixes
+have content locality (the paper measures ratios of 0.12-0.23 there).
+"""
+
+from repro.common.units import DAY_US, SECOND_US
+from repro.bench.config import bench_geometry
+from repro.flash.timing import FlashTiming
+from repro.fs import JournalingFS, LogStructuredFS, PlainFS
+from repro.ftl.ssd import RegularSSD, SSDConfig
+from repro.timessd.config import ContentMode, TimeSSDConfig
+from repro.timessd.ssd import TimeSSD
+from repro.workloads.iozone import IOZoneWorkload
+from repro.workloads.postmark import PostMarkWorkload
+from repro.workloads.oltp import TATP, TPCB, TPCC, MiniOLTPEngine
+
+STACKS = ("Ext4", "F2FS", "TimeSSD")
+
+
+def _fs_geometry():
+    # Smaller pages keep the Python LZF cost of real-content deltas low.
+    return bench_geometry(page_size=2048, blocks_per_plane=32)
+
+
+def make_stack(stack):
+    """Build (fs, ssd) for one of the three stacks."""
+    geometry = _fs_geometry()
+    if stack == "Ext4":
+        ssd = RegularSSD(SSDConfig(geometry=geometry, timing=FlashTiming()))
+        return JournalingFS(ssd), ssd
+    if stack == "F2FS":
+        ssd = RegularSSD(SSDConfig(geometry=geometry, timing=FlashTiming()))
+        return LogStructuredFS(ssd), ssd
+    if stack == "TimeSSD":
+        ssd = TimeSSD(
+            TimeSSDConfig(
+                geometry=geometry,
+                timing=FlashTiming(),
+                content_mode=ContentMode.REAL,
+                retention_floor_us=3 * DAY_US,
+                bloom_capacity=512,
+            )
+        )
+        return PlainFS(ssd), ssd
+    raise ValueError("unknown stack %r" % stack)
+
+
+def run_iozone(file_pages=384, seed=3):
+    """Figure 9a: the four IOZone phases on each stack.
+
+    Returns ``{stack: {phase: throughput}}`` (bytes per simulated
+    second); the bench normalizes to Ext4 like the paper's plot.
+    """
+    out = {}
+    for stack in STACKS:
+        fs, _ssd = make_stack(stack)
+        result = IOZoneWorkload(fs, file_pages=file_pages, seed=seed).run()
+        out[stack] = result.as_dict()
+    return out
+
+
+def run_postmark(transactions=400, seed=3):
+    """Figure 9b (left): PostMark transactions/second per stack."""
+    out = {}
+    for stack in STACKS:
+        fs, _ssd = make_stack(stack)
+        workload = PostMarkWorkload(
+            fs, nfiles=48, file_pages_max=6, seed=seed, mutation_fraction=0.15
+        )
+        out[stack] = workload.run(transactions=transactions).tps
+    return out
+
+
+def run_oltp(transactions=300, seed=3):
+    """Figure 9b (right): TPCC/TPCB/TATP transactions/second per stack."""
+    out = {}
+    for stack in STACKS:
+        per_bench = {}
+        for profile in (TPCC, TPCB, TATP):
+            fs, _ssd = make_stack(stack)
+            engine = MiniOLTPEngine(
+                fs, table_pages=384, seed=seed, mutation_fraction=0.08
+            )
+            per_bench[profile.name] = engine.run(profile, transactions).tps
+        out[stack] = per_bench
+    return out
+
+
+def normalized(rows, baseline="Ext4"):
+    """Normalize a ``{stack: value}`` mapping to the baseline stack."""
+    base = rows[baseline]
+    return {stack: (value / base if base else 0.0) for stack, value in rows.items()}

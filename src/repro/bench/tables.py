@@ -1,0 +1,45 @@
+"""ASCII tables and result persistence for the benchmark suite."""
+
+import os
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return "%.3f" % value
+    return str(value)
+
+
+def results_dir():
+    """Directory for persisted bench tables (created on demand)."""
+    base = os.environ.get("REPRO_BENCH_RESULTS")
+    if base is None:
+        base = os.path.join(os.getcwd(), "benchmarks", "results")
+    os.makedirs(base, exist_ok=True)
+    return base
+
+
+def save_result(name, text):
+    """Write a rendered table to ``benchmarks/results/<name>.txt``."""
+    path = os.path.join(results_dir(), name + ".txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+    return path

@@ -1,0 +1,144 @@
+"""Trace-driven experiments: Figures 6 (response time), 7 (write
+amplification) and 8 (retention duration).
+
+One replay produces every per-volume metric, so results are memoized by
+parameter tuple and shared between the figure benches.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.units import DAY_US
+from repro.bench.config import make_bench_regular, make_bench_timessd, prefill
+from repro.workloads.fiu import FIU_VOLUMES, fiu_trace
+from repro.workloads.msr import MSR_VOLUMES, msr_trace
+from repro.workloads.trace import TraceReplayer
+
+MSR_NAMES = ("hm", "rsrch", "src", "stg", "ts", "usr", "wdev")
+FIU_NAMES = ("research", "webmail", "online", "web-online", "webusers")
+ALL_VOLUMES = tuple(("msr", v) for v in MSR_NAMES) + tuple(
+    ("fiu", v) for v in FIU_NAMES
+)
+
+
+@dataclass
+class TraceRunResult:
+    source: str
+    volume: str
+    device: str  # "regular" | "timessd"
+    usage: float
+    days: int
+    requests: int
+    mean_response_us: float
+    p99_response_us: float
+    write_amplification: float
+    retention_days: float
+    aborted: bool
+
+
+_CACHE = {}
+
+
+def _trace_for(source, volume, logical_pages, working_pages, days, seed):
+    fn = msr_trace if source == "msr" else fiu_trace
+    return fn(
+        volume,
+        logical_pages,
+        days=days,
+        seed=seed,
+        working_pages=working_pages,
+    )
+
+
+def run_volume(source, volume, device, usage, days, seed=1):
+    """Replay one volume on one device; memoized."""
+    key = (source, volume, device, usage, days, seed)
+    if key in _CACHE:
+        return _CACHE[key]
+    ssd = make_bench_timessd() if device == "timessd" else make_bench_regular()
+    working = int(ssd.logical_pages * usage)
+    prefill(ssd, working)
+    trace = _trace_for(source, volume, ssd.logical_pages, working, days, seed)
+    stats = TraceReplayer(ssd).replay(trace)
+    retention_days = 0.0
+    if device == "timessd":
+        retention_days = min(
+            ssd.retention_window_us(), ssd.clock.now_us
+        ) / DAY_US
+    result = TraceRunResult(
+        source=source,
+        volume=volume,
+        device=device,
+        usage=usage,
+        days=days,
+        requests=stats.requests,
+        mean_response_us=stats.response.mean_us,
+        p99_response_us=stats.response.percentile(99),
+        write_amplification=ssd.write_amplification,
+        retention_days=retention_days,
+        aborted=stats.aborted_at is not None,
+    )
+    _CACHE[key] = result
+    return result
+
+
+def run_comparison(usage, days=14, seed=1, volumes=ALL_VOLUMES):
+    """Figures 6 & 7: every volume on regular SSD vs TimeSSD."""
+    rows = []
+    for source, volume in volumes:
+        regular = run_volume(source, volume, "regular", usage, days, seed)
+        timessd = run_volume(source, volume, "timessd", usage, days, seed)
+        rows.append((regular, timessd))
+    return rows
+
+
+def response_time_rows(usage, days=14, seed=1):
+    """Figure 6 table rows: volume, regular ms, TimeSSD ms, overhead %."""
+    rows = []
+    for regular, timessd in run_comparison(usage, days, seed):
+        overhead = 0.0
+        if regular.mean_response_us:
+            overhead = (
+                timessd.mean_response_us / regular.mean_response_us - 1.0
+            ) * 100.0
+        rows.append(
+            (
+                regular.volume,
+                regular.mean_response_us / 1000.0,
+                timessd.mean_response_us / 1000.0,
+                overhead,
+            )
+        )
+    return rows
+
+
+def write_amplification_rows(usage, days=14, seed=1):
+    """Figure 7 table rows: volume, regular WA, TimeSSD WA, increase %."""
+    rows = []
+    for regular, timessd in run_comparison(usage, days, seed):
+        increase = 0.0
+        if regular.write_amplification:
+            increase = (
+                timessd.write_amplification / regular.write_amplification - 1.0
+            ) * 100.0
+        rows.append(
+            (
+                regular.volume,
+                regular.write_amplification,
+                timessd.write_amplification,
+                increase,
+            )
+        )
+    return rows
+
+
+def retention_rows(source, usage, lengths, seed=1):
+    """Figure 8: retention duration per volume per trace length."""
+    names = MSR_NAMES if source == "msr" else FIU_NAMES
+    out = {}
+    for volume in names:
+        series = []
+        for days in lengths:
+            result = run_volume(source, volume, "timessd", usage, days, seed)
+            series.append((days, result.retention_days, result.aborted))
+        out[volume] = series
+    return out

@@ -1,0 +1,5 @@
+"""Real-world case studies from the paper's §5.5."""
+
+from repro.casestudies.file_revert import FileRevertStudy, KERNEL_FILES
+
+__all__ = ["FileRevertStudy", "KERNEL_FILES"]

@@ -1,0 +1,276 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``        — sixty-second tour of the time-travel property;
+* ``experiment``  — regenerate one paper table/figure by id;
+* ``list``        — list available experiment ids;
+* ``info``        — system inventory and default configuration.
+"""
+
+import argparse
+import sys
+
+from repro.common.units import SECOND_US, format_duration
+
+
+def _cmd_demo(args):
+    from repro.flash import FlashGeometry
+    from repro.timekits import TimeKits
+    from repro.timessd import ContentMode, TimeSSD, TimeSSDConfig
+
+    ssd = TimeSSD(
+        TimeSSDConfig(
+            geometry=FlashGeometry(channels=4, blocks_per_plane=16, pages_per_block=16),
+            content_mode=ContentMode.REAL,
+        )
+    )
+    kits = TimeKits(ssd)
+    size = ssd.device.geometry.page_size
+    for text in ("first draft", "second draft", "final"):
+        ssd.write(0, text.encode().ljust(size, b"\0"))
+        ssd.clock.advance(5 * SECOND_US)
+    print("current:", ssd.read(0)[0].rstrip(b"\0").decode())
+    print("history (device-level, no backups were taken):")
+    for version in kits.addr_query_all(0).value[0]:
+        print(
+            "  t=%-10s %s"
+            % (
+                format_duration(version.timestamp_us),
+                version.data.rstrip(b"\0").decode(),
+            )
+        )
+    kits.rollback(0, t=0)
+    print("after rollback to t=0:", ssd.read(0)[0].rstrip(b"\0").decode())
+    return 0
+
+
+EXPERIMENTS = {
+    "fig6a": ("avg I/O response time @ 50% usage", "response"),
+    "fig6b": ("avg I/O response time @ 80% usage", "response"),
+    "fig7a": ("write amplification @ 50% usage", "wa"),
+    "fig7b": ("write amplification @ 80% usage", "wa"),
+    "fig9a": ("IOZone file-system comparison", "iozone"),
+    "fig9b": ("PostMark + OLTP comparison", "oltp"),
+    "table3": ("storage-state query latency", "table3"),
+    "fig10": ("ransomware recovery time", "fig10"),
+    "fig11": ("file reversal with 1/2/4 threads", "fig11"),
+}
+
+
+def _cmd_list(args):
+    print("experiment ids (see EXPERIMENTS.md for expectations):")
+    for key, (title, _kind) in EXPERIMENTS.items():
+        print("  %-8s %s" % (key, title))
+    print("  fig8*    retention duration (run via pytest benchmarks/)")
+    return 0
+
+
+def _cmd_experiment(args):
+    from repro.bench.tables import format_table
+
+    key = args.id
+    if key not in EXPERIMENTS:
+        print("unknown experiment %r; try: python -m repro list" % key)
+        return 2
+    title, kind = EXPERIMENTS[key]
+    days = args.days
+    print("running %s (%s)..." % (key, title))
+    if kind == "response":
+        from repro.bench.trace_experiments import response_time_rows
+
+        usage = 0.5 if key.endswith("a") else 0.8
+        rows = response_time_rows(usage=usage, days=days)
+        print(format_table(("volume", "regular (ms)", "TimeSSD (ms)", "overhead (%)"), rows))
+    elif kind == "wa":
+        from repro.bench.trace_experiments import write_amplification_rows
+
+        usage = 0.5 if key.endswith("a") else 0.8
+        rows = write_amplification_rows(usage=usage, days=days)
+        print(format_table(("volume", "regular WA", "TimeSSD WA", "increase (%)"), rows))
+    elif kind == "iozone":
+        from repro.bench.fs_experiments import normalized, run_iozone
+
+        results = run_iozone()
+        rows = []
+        for phase in ("SeqRead", "SeqWrite", "RandomRead", "RandomWrite"):
+            norm = normalized({s: results[s][phase] for s in results})
+            rows.append((phase, norm["Ext4"], norm["F2FS"], norm["TimeSSD"]))
+        print(format_table(("phase", "Ext4", "F2FS", "TimeSSD"), rows))
+    elif kind == "oltp":
+        from repro.bench.fs_experiments import normalized, run_oltp, run_postmark
+
+        postmark = normalized(run_postmark())
+        rows = [("PostMark", postmark["Ext4"], postmark["F2FS"], postmark["TimeSSD"])]
+        oltp = run_oltp()
+        for bench in ("TPCC", "TPCB", "TATP"):
+            norm = normalized({s: oltp[s][bench] for s in oltp})
+            rows.append((bench, norm["Ext4"], norm["F2FS"], norm["TimeSSD"]))
+        print(format_table(("workload", "Ext4", "F2FS", "TimeSSD"), rows))
+    elif kind == "table3":
+        from repro.bench.query_experiments import run_table3
+
+        rows = [
+            (r.volume, r.time_query_s, r.addr_query_all_ms, r.rollback_ms)
+            for r in run_table3()
+        ]
+        print(
+            format_table(
+                ("volume", "TimeQuery (s)", "AddrQueryAll (ms)", "RollBack (ms)"), rows
+            )
+        )
+    elif kind == "fig10":
+        from repro.bench.security_experiments import run_fig10
+
+        rows = [
+            (r.family, r.flashguard_recovery_s, r.timessd_recovery_s)
+            for r in run_fig10()
+        ]
+        print(format_table(("family", "FlashGuard (s)", "TimeSSD (s)"), rows))
+    elif kind == "fig11":
+        from repro.bench.revert_experiments import run_fig11
+
+        rows = [
+            (r.name, r.per_thread_ms[1], r.per_thread_ms[2], r.per_thread_ms[4])
+            for r in run_fig11(commits=args.commits)
+        ]
+        print(format_table(("file", "1 thr (ms)", "2 thr (ms)", "4 thr (ms)"), rows))
+    return 0
+
+
+def _cmd_info(args):
+    from repro.bench.config import bench_geometry
+    from repro.timessd import TimeSSDConfig
+
+    geometry = bench_geometry()
+    config = TimeSSDConfig()
+    print("Project Almanac reproduction (EuroSys '19)")
+    print("bench device: %d channels x %d blocks x %d pages x %d B" % (
+        geometry.channels,
+        geometry.total_blocks // geometry.channels,
+        geometry.pages_per_block,
+        geometry.page_size,
+    ))
+    print("retention floor: %s" % format_duration(config.retention_floor_us))
+    print("bloom: capacity %d, fp %.2f%%, group size %d" % (
+        config.bloom_capacity,
+        config.bloom_fp_rate * 100,
+        config.bloom_group_size,
+    ))
+    print("Equation-1: TH=%.2f over %d-write periods" % (
+        config.gc_overhead_threshold,
+        config.gc_overhead_period_writes,
+    ))
+    return 0
+
+
+def _cmd_selftest(args):
+    import random
+
+    from repro.flash import FlashGeometry
+    from repro.timessd import TimeSSD, TimeSSDConfig
+    from repro.timessd.verify import DeviceAuditor
+
+    ssd = TimeSSD(
+        TimeSSDConfig(
+            geometry=FlashGeometry(channels=8, blocks_per_plane=32, pages_per_block=32),
+            retention_floor_us=2 * SECOND_US,
+        )
+    )
+    rng = random.Random(0xA1)
+    working = ssd.logical_pages // 2
+    print("stressing: %d writes/trims over %d pages..." % (working * 5, working))
+    for lpa in range(working):
+        ssd.write(lpa)
+        ssd.clock.advance(300)
+    for _ in range(working * 4):
+        lpa = rng.randrange(working)
+        if rng.random() < 0.9:
+            ssd.write(lpa)
+        else:
+            ssd.trim(lpa)
+        ssd.clock.advance(rng.choice([300, 900, 25_000]))
+    print(
+        "GC runs: %d foreground, %d background; retention window %s"
+        % (ssd.gc_runs, ssd.background_gc_runs, format_duration(ssd.retention_window_us()))
+    )
+    report = DeviceAuditor(ssd).audit()
+    print("audit: %d checks," % report.checks_run, end=" ")
+    if report.clean:
+        print("all invariants hold")
+        return 0
+    print("%d VIOLATIONS:" % len(report.violations))
+    for violation in report.violations:
+        print("  -", violation)
+    return 1
+
+
+def _cmd_trace_stats(args):
+    from repro.workloads.analyze import analyze_trace
+
+    source = args.source
+    if source.startswith("msr:") or source.startswith("fiu:"):
+        kind, volume = source.split(":", 1)
+        from repro.workloads.fiu import fiu_trace
+        from repro.workloads.msr import msr_trace
+
+        fn = msr_trace if kind == "msr" else fiu_trace
+        records = list(
+            fn(volume, 16384, days=args.days, seed=1, intensity_scale=args.scale)
+        )
+        print("synthesized %s/%s, %d days:" % (kind, volume, args.days))
+    else:
+        from repro.workloads.io import load_msr_csv, load_trace_csv
+        from repro.common.errors import ReproError
+
+        try:
+            records = load_trace_csv(source)
+            print("native trace %s:" % source)
+        except ReproError:
+            records = load_msr_csv(source)
+            print("MSR-format trace %s:" % source)
+    print(analyze_trace(records).summary())
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Project Almanac (TimeSSD) reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="sixty-second time-travel demo").set_defaults(
+        fn=_cmd_demo
+    )
+    sub.add_parser("list", help="list experiment ids").set_defaults(fn=_cmd_list)
+    sub.add_parser("info", help="inventory and defaults").set_defaults(fn=_cmd_info)
+    sub.add_parser(
+        "selftest", help="stress a device and audit every invariant"
+    ).set_defaults(fn=_cmd_selftest)
+
+    stats = sub.add_parser("trace-stats", help="characterize a trace")
+    stats.add_argument(
+        "source",
+        help="volume name (e.g. msr:hm, fiu:webmail) or a trace CSV path",
+    )
+    stats.add_argument("--days", type=int, default=7)
+    stats.add_argument("--scale", type=float, default=20.0, help="intensity scale")
+    stats.set_defaults(fn=_cmd_trace_stats)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("id", help="experiment id (see `repro list`)")
+    exp.add_argument("--days", type=int, default=7, help="trace length (default 7)")
+    exp.add_argument(
+        "--commits", type=int, default=300, help="fig11 commit count (default 300)"
+    )
+    exp.set_defaults(fn=_cmd_experiment)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Shared infrastructure: simulated time, units, errors, and statistics.
+
+Everything in the simulator that needs a notion of time uses a
+:class:`~repro.common.clock.SimClock` carrying integer microseconds, so
+experiments are deterministic and independent of wall-clock speed.
+"""
+
+from repro.common.clock import SimClock
+from repro.common.errors import (
+    AddressError,
+    DeviceFullError,
+    FlashStateError,
+    ReproError,
+    RetentionViolationError,
+)
+from repro.common.stats import LatencyStats, RunningMean
+from repro.common.units import (
+    DAY_US,
+    GIB,
+    HOUR_US,
+    KIB,
+    MIB,
+    MINUTE_US,
+    MS_US,
+    SECOND_US,
+    format_bytes,
+    format_duration,
+)
+
+__all__ = [
+    "SimClock",
+    "ReproError",
+    "AddressError",
+    "DeviceFullError",
+    "FlashStateError",
+    "RetentionViolationError",
+    "LatencyStats",
+    "RunningMean",
+    "KIB",
+    "MIB",
+    "GIB",
+    "MS_US",
+    "SECOND_US",
+    "MINUTE_US",
+    "HOUR_US",
+    "DAY_US",
+    "format_bytes",
+    "format_duration",
+]

@@ -1,0 +1,44 @@
+"""Simulated clock.
+
+The simulator never reads wall-clock time.  A :class:`SimClock` is shared by
+the host (trace replayer / file system) and the device (FTL), carrying
+integer microseconds.  Trace replay advances the clock to each request's
+timestamp; device operations advance it by their modeled latency.
+"""
+
+from repro.common.units import format_duration
+
+
+class SimClock:
+    """Monotonic simulated clock in integer microseconds."""
+
+    def __init__(self, start_us=0):
+        if start_us < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now_us = int(start_us)
+
+    @property
+    def now_us(self):
+        """Current simulated time in microseconds."""
+        return self._now_us
+
+    def advance(self, delta_us):
+        """Move time forward by ``delta_us`` microseconds and return now."""
+        if delta_us < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now_us += int(delta_us)
+        return self._now_us
+
+    def advance_to(self, target_us):
+        """Move time forward to ``target_us`` if it is in the future.
+
+        A target in the past is ignored (the clock is monotonic); this is
+        the convenient behaviour for replaying traces whose timestamps can
+        fall behind device-time after a long GC stall.
+        """
+        if target_us > self._now_us:
+            self._now_us = int(target_us)
+        return self._now_us
+
+    def __repr__(self):
+        return "SimClock(t=%s)" % format_duration(self._now_us)

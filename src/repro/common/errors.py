@@ -1,0 +1,49 @@
+"""Exception hierarchy for the Project Almanac reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AddressError(ReproError):
+    """A logical or physical address is out of range or malformed."""
+
+
+class FlashStateError(ReproError):
+    """A flash operation violated NAND constraints.
+
+    Examples: programming a page that is not erased, reading an erased
+    page, or erasing at the wrong granularity.
+    """
+
+
+class DeviceFullError(ReproError):
+    """The device ran out of free space and cannot accept the write.
+
+    For a regular SSD this should never fire under correct GC; for TimeSSD
+    it is the documented failure mode when the retention floor (three days
+    by default) would otherwise be violated (paper §3.4).
+    """
+
+
+class RetentionViolationError(DeviceFullError):
+    """TimeSSD refused an operation to protect the retention-floor guarantee.
+
+    Raised when free space is exhausted but the oldest retained state is
+    still inside the guaranteed retention window, so nothing may be
+    reclaimed.  The device stops serving writes, which the paper treats as
+    a deliberate, user-visible alarm condition.
+    """
+
+    def __init__(self, message, oldest_retained_us=None, floor_us=None):
+        super().__init__(message)
+        self.oldest_retained_us = oldest_retained_us
+        self.floor_us = floor_us
+
+
+class QueryError(ReproError):
+    """A TimeKits query was malformed or targeted unavailable state."""
+
+
+class FileSystemError(ReproError):
+    """A file-system substrate operation failed (no such file, no space...)."""

@@ -1,0 +1,39 @@
+"""Idle-time prediction for background delta compression (paper §3.6).
+
+TimeSSD predicts the next idle interval with exponential smoothing:
+
+    t_predict[i] = alpha * t_interval[i-1] + (1 - alpha) * t_predict[i-1]
+
+with ``alpha = 0.5``.  When the prediction exceeds a threshold (10 ms by
+default) the device compresses retained pages in the background, and
+suspends the moment a host request arrives.
+
+In simulation the decision is evaluated retrospectively but causally: the
+prediction *standing at the start of a gap* (i.e. computed only from
+earlier gaps) decides whether background work ran during that gap.
+"""
+
+
+class IdlePredictor:
+    """Exponentially smoothed idle-interval prediction."""
+
+    def __init__(self, alpha=0.5, threshold_us=10_000):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.threshold_us = threshold_us
+        self.predicted_us = 0.0
+        self.observed_gaps = 0
+
+    @property
+    def would_compress(self):
+        """Would the current prediction trigger background compression?"""
+        return self.predicted_us >= self.threshold_us
+
+    def observe_gap(self, gap_us):
+        """Fold a finished idle interval into the prediction."""
+        if gap_us < 0:
+            raise ValueError("gap cannot be negative")
+        self.predicted_us = self.alpha * gap_us + (1 - self.alpha) * self.predicted_us
+        self.observed_gaps += 1
+        return self.predicted_us

@@ -1,0 +1,91 @@
+"""Small statistics helpers used by the device models and benchmarks."""
+
+import math
+
+
+class RunningMean:
+    """Streaming mean/variance (Welford's algorithm)."""
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value):
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self):
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self):
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self):
+        return math.sqrt(self.variance)
+
+    def __repr__(self):
+        return "RunningMean(n=%d, mean=%.3f)" % (self.count, self.mean)
+
+
+class LatencyStats:
+    """Latency accumulator with mean and approximate percentiles.
+
+    Stores a bounded reservoir of samples so percentile queries stay cheap
+    even for month-long traces.
+    """
+
+    RESERVOIR_SIZE = 8192
+
+    def __init__(self, rng=None):
+        self._running = RunningMean()
+        self._reservoir = []
+        self._rng = rng
+        self.total_us = 0
+        self.max_us = 0
+
+    def record(self, latency_us):
+        if latency_us < 0:
+            raise ValueError("latency cannot be negative")
+        self._running.add(latency_us)
+        self.total_us += latency_us
+        if latency_us > self.max_us:
+            self.max_us = latency_us
+        if len(self._reservoir) < self.RESERVOIR_SIZE:
+            self._reservoir.append(latency_us)
+        elif self._rng is not None:
+            slot = self._rng.randrange(self._running.count)
+            if slot < self.RESERVOIR_SIZE:
+                self._reservoir[slot] = latency_us
+
+    @property
+    def count(self):
+        return self._running.count
+
+    @property
+    def mean_us(self):
+        return self._running.mean
+
+    def percentile(self, p):
+        """Approximate p-th percentile (0..100) from the sample reservoir."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        index = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
+        return float(ordered[index])
+
+    def __repr__(self):
+        return "LatencyStats(n=%d, mean=%.1fus, p99=%.1fus)" % (
+            self.count,
+            self.mean_us,
+            self.percentile(99),
+        )

@@ -1,0 +1,80 @@
+"""Flash blocks: the erase unit.
+
+NAND constraints enforced here:
+
+* a page may only be programmed when erased;
+* pages within a block must be programmed sequentially (real NAND forbids
+  out-of-order programming within a block);
+* erase resets every page and increments the block's wear counter.
+"""
+
+from repro.common.errors import FlashStateError
+from repro.flash.page import Page, PageState
+
+
+class Block:
+    """One erase block holding ``pages_per_block`` pages."""
+
+    __slots__ = ("pba", "pages", "erase_count", "_write_pointer", "last_program_us")
+
+    def __init__(self, pba, pages_per_block):
+        self.pba = pba
+        self.pages = [Page() for _ in range(pages_per_block)]
+        self.erase_count = 0
+        self._write_pointer = 0
+        #: When the block last received a program (cost-benefit GC "age").
+        self.last_program_us = 0
+
+    @property
+    def write_pointer(self):
+        """Index of the next programmable page in this block."""
+        return self._write_pointer
+
+    @property
+    def is_full(self):
+        return self._write_pointer >= len(self.pages)
+
+    @property
+    def is_erased(self):
+        return self._write_pointer == 0
+
+    def program(self, offset, data, oob):
+        """Program the page at ``offset`` (must be the write pointer)."""
+        if offset != self._write_pointer:
+            raise FlashStateError(
+                "block %d: out-of-order program at offset %d (expected %d)"
+                % (self.pba, offset, self._write_pointer)
+            )
+        page = self.pages[offset]
+        if page.state is not PageState.ERASED:
+            raise FlashStateError(
+                "block %d: program to non-erased page %d" % (self.pba, offset)
+            )
+        page.state = PageState.PROGRAMMED
+        page.data = data
+        page.oob = oob
+        self._write_pointer += 1
+
+    def read(self, offset):
+        page = self.pages[offset]
+        if page.state is not PageState.PROGRAMMED:
+            raise FlashStateError(
+                "block %d: read of erased page %d" % (self.pba, offset)
+            )
+        return page.data, page.oob
+
+    def erase(self):
+        for page in self.pages:
+            page.state = PageState.ERASED
+            page.data = None
+            page.oob = None
+        self.erase_count += 1
+        self._write_pointer = 0
+
+    def __repr__(self):
+        return "Block(pba=%d, programmed=%d/%d, erases=%d)" % (
+            self.pba,
+            self._write_pointer,
+            len(self.pages),
+            self.erase_count,
+        )

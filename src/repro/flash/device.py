@@ -1,0 +1,160 @@
+"""The flash device: functional array of blocks plus the timing model.
+
+The device exposes page-granularity read/program and block-granularity
+erase, each returning the operation's completion time on its channel so
+the FTL above can account I/O response times.  Functional state and timing
+are kept in one place so a single call site cannot forget either.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.flash.block import Block
+from repro.flash.geometry import FlashGeometry
+from repro.flash.reliability import ReliabilityEngine
+from repro.flash.timing import ChannelTimelines, FlashTiming
+
+
+@dataclass
+class OpCounters:
+    """Lifetime operation counts, used for write-amplification metrics."""
+
+    page_reads: int = 0
+    page_programs: int = 0
+    block_erases: int = 0
+    delta_compressions: int = 0
+    delta_decompressions: int = 0
+    translation_reads: int = 0
+    translation_writes: int = 0
+
+    def snapshot(self):
+        return OpCounters(
+            self.page_reads,
+            self.page_programs,
+            self.block_erases,
+            self.delta_compressions,
+            self.delta_decompressions,
+            self.translation_reads,
+            self.translation_writes,
+        )
+
+
+@dataclass
+class ReadResult:
+    data: object
+    oob: object
+    complete_us: int = 0
+
+
+class FlashDevice:
+    """A multi-channel NAND flash array with latency accounting."""
+
+    def __init__(self, geometry=None, timing=None, reliability=None):
+        self.geometry = geometry or FlashGeometry()
+        self.timing = timing or FlashTiming()
+        if reliability is not None:
+            self.reliability = ReliabilityEngine(
+                reliability, self.geometry.page_size
+            )
+        else:
+            self.reliability = None
+        self.blocks = [
+            Block(pba, self.geometry.pages_per_block)
+            for pba in range(self.geometry.total_blocks)
+        ]
+        self.timelines = ChannelTimelines(self.geometry.channels)
+        # One timeline per die: cell operations (sense/program/erase)
+        # occupy the chip while bus transfers occupy the channel.
+        self.chip_timelines = ChannelTimelines(
+            self.geometry.channels * self.geometry.chips_per_channel
+        )
+        self.counters = OpCounters()
+
+    def _chip_index(self, pba):
+        channel, chip = self.geometry.chip_of_block(pba)
+        return channel * self.geometry.chips_per_channel + chip
+
+    # --- Functional + timed operations --------------------------------------
+
+    def read_page(self, ppa, now_us=0):
+        """Read a page; returns :class:`ReadResult` with completion time.
+
+        Timing: the cell sense occupies the chip, then the data transfer
+        occupies the channel bus — so with multiple chips per channel,
+        one die can sense while another's data streams out.
+        """
+        geo = self.geometry
+        pba = geo.block_of_page(ppa)
+        block = self.blocks[pba]
+        data, oob = block.read(geo.page_offset(ppa))
+        self.counters.page_reads += 1
+        if self.reliability is not None:
+            # ECC check: may raise UncorrectableReadError; corrected
+            # errors are invisible to the caller (as on real drives).
+            self.reliability.check_read(ppa, block.erase_count)
+        cell_done = self.chip_timelines.schedule(
+            self._chip_index(pba), now_us, self.timing.read_us
+        )
+        complete = self.timelines.schedule(
+            geo.channel_of_page(ppa), cell_done, self.timing.bus_transfer_us
+        )
+        return ReadResult(data, oob, complete)
+
+    def read_oob(self, ppa, now_us=0):
+        """Read only a page's OOB metadata.
+
+        Real controllers fetch OOB together with the page, so this costs a
+        full page read; it exists for call-site clarity.
+        """
+        return self.read_page(ppa, now_us)
+
+    def program_page(self, ppa, data, oob, now_us=0):
+        """Program an erased page; returns the completion time.
+
+        Timing: the bus transfer occupies the channel, then the cell
+        program occupies the chip.
+        """
+        geo = self.geometry
+        pba = geo.block_of_page(ppa)
+        block = self.blocks[pba]
+        block.program(geo.page_offset(ppa), data, oob)
+        block.last_program_us = now_us
+        self.counters.page_programs += 1
+        transferred = self.timelines.schedule(
+            geo.channel_of_page(ppa), now_us, self.timing.bus_transfer_us
+        )
+        return self.chip_timelines.schedule(
+            self._chip_index(pba), transferred, self.timing.program_us
+        )
+
+    def erase_block(self, pba, now_us=0):
+        """Erase a block; returns the completion time.
+
+        Erase occupies only the die — the channel stays free for other
+        chips, which is why multi-chip devices hide GC stalls better.
+        """
+        geo = self.geometry
+        geo.check_pba(pba)
+        self.blocks[pba].erase()
+        self.counters.block_erases += 1
+        return self.chip_timelines.schedule(
+            self._chip_index(pba), now_us, self.timing.erase_us
+        )
+
+    # --- Untimed peeks (host-side tooling / assertions only) ----------------
+
+    def peek_page(self, ppa):
+        """Inspect a page without timing or counters (tests, invariants)."""
+        geo = self.geometry
+        block = self.blocks[geo.block_of_page(ppa)]
+        page = block.pages[geo.page_offset(ppa)]
+        return page
+
+    def block_erase_counts(self):
+        return [b.erase_count for b in self.blocks]
+
+    def __repr__(self):
+        return "FlashDevice(%d blocks x %d pages, %d channels)" % (
+            self.geometry.total_blocks,
+            self.geometry.pages_per_block,
+            self.geometry.channels,
+        )

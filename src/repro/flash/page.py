@@ -1,0 +1,62 @@
+"""Flash pages and their out-of-band (OOB) metadata.
+
+TimeSSD (paper §3.7) stores three things in each page's OOB area: the LPA
+mapped to the page, a back-pointer to the previous PPA that held a version
+of that LPA, and the write timestamp.  The model keeps these structurally
+instead of packing bytes.
+"""
+
+import enum
+from dataclasses import dataclass
+
+# Sentinel "no previous version" back-pointer ('-' in the paper's Figure 5).
+NULL_PPA = -1
+
+
+class PageState(enum.Enum):
+    """NAND-level state of a page: erased (writable) or programmed."""
+
+    ERASED = "erased"
+    PROGRAMMED = "programmed"
+
+
+@dataclass(frozen=True)
+class OOBMetadata:
+    """Out-of-band metadata written atomically with a page program.
+
+    ``lpa`` is the logical page the content belongs to (or a tag for
+    housekeeping pages such as translation or delta pages), ``back_pointer``
+    is the PPA holding the previous version of the same LPA (``NULL_PPA``
+    if none), and ``timestamp_us`` is the simulated write time.
+    """
+
+    lpa: int
+    back_pointer: int = NULL_PPA
+    timestamp_us: int = 0
+
+    # Tag values used in ``lpa`` for non-user pages.  Real firmware would
+    # reserve magic values the same way.
+    TRANSLATION_TAG = -2
+    DELTA_TAG = -3
+
+
+class Page:
+    """One flash page: state, stored object, and OOB metadata.
+
+    ``data`` is whatever object the FTL programs — raw ``bytes`` for
+    content-bearing experiments, or lightweight tokens for modeled-content
+    trace replays.  The flash layer never inspects it.
+    """
+
+    __slots__ = ("state", "data", "oob")
+
+    def __init__(self):
+        self.state = PageState.ERASED
+        self.data = None
+        self.oob = None
+
+    def __repr__(self):
+        return "Page(%s, lpa=%s)" % (
+            self.state.value,
+            self.oob.lpa if self.oob else None,
+        )

@@ -1,0 +1,105 @@
+"""Flash reliability: raw bit errors and ECC correction.
+
+NAND reads flip bits at a rate that grows with wear; controllers attach
+an ECC codeword (BCH/LDPC) to every page and correct up to a budget of
+bit errors.  The model samples per-read error counts from a Poisson
+approximation of the binomial, corrects up to ``ecc_correctable_bits``,
+and surfaces the (rare) uncorrectable reads as
+:class:`UncorrectableReadError` — which is how real drives lose data at
+end of life.
+
+Disabled by default (``raw_bit_error_rate = 0``): functional experiments
+stay deterministic and error-free unless a test opts in.
+"""
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import ReproError
+
+
+class UncorrectableReadError(ReproError):
+    """More bit errors than the ECC budget — the page read failed."""
+
+    def __init__(self, ppa, bit_errors, budget):
+        super().__init__(
+            "uncorrectable read at PPA %d: %d bit errors > ECC budget %d"
+            % (ppa, bit_errors, budget)
+        )
+        self.ppa = ppa
+        self.bit_errors = bit_errors
+        self.budget = budget
+
+
+@dataclass(frozen=True)
+class FlashReliability:
+    """Error-rate model.
+
+    ``raw_bit_error_rate`` is per bit per read on a fresh block;
+    ``wear_ber_multiplier`` scales it linearly with the block's erase
+    count (``effective = raw * (1 + multiplier * erases)``), reproducing
+    the wear-out curve; ``ecc_correctable_bits`` is the per-page ECC
+    budget (typical 4 KiB-page BCH corrects ~40-72 bits).
+    """
+
+    raw_bit_error_rate: float = 0.0
+    wear_ber_multiplier: float = 0.0
+    ecc_correctable_bits: int = 40
+    seed: int = 0xECC
+
+    def __post_init__(self):
+        if self.raw_bit_error_rate < 0 or self.wear_ber_multiplier < 0:
+            raise ValueError("error rates must be non-negative")
+        if self.ecc_correctable_bits < 0:
+            raise ValueError("ECC budget must be non-negative")
+
+
+class ReliabilityEngine:
+    """Samples per-read bit-error counts and applies the ECC budget."""
+
+    def __init__(self, model, page_size):
+        self.model = model
+        self._bits_per_page = page_size * 8
+        self._rng = random.Random(model.seed)
+        self.corrected_bits = 0
+        self.corrected_reads = 0
+        self.uncorrectable_reads = 0
+
+    @property
+    def enabled(self):
+        return self.model.raw_bit_error_rate > 0
+
+    def _poisson(self, lam):
+        """Knuth's method (lambda is small for realistic BERs)."""
+        if lam <= 0:
+            return 0
+        if lam > 30:
+            # Normal approximation for stress-test rates.
+            value = int(self._rng.gauss(lam, math.sqrt(lam)) + 0.5)
+            return max(0, value)
+        threshold = math.exp(-lam)
+        k = 0
+        p = 1.0
+        while True:
+            p *= self._rng.random()
+            if p <= threshold:
+                return k
+            k += 1
+
+    def check_read(self, ppa, erase_count):
+        """Account one page read; raises on an uncorrectable error."""
+        if not self.enabled:
+            return 0
+        ber = self.model.raw_bit_error_rate * (
+            1.0 + self.model.wear_ber_multiplier * erase_count
+        )
+        errors = self._poisson(ber * self._bits_per_page)
+        if errors == 0:
+            return 0
+        if errors <= self.model.ecc_correctable_bits:
+            self.corrected_bits += errors
+            self.corrected_reads += 1
+            return errors
+        self.uncorrectable_reads += 1
+        raise UncorrectableReadError(ppa, errors, self.model.ecc_correctable_bits)

@@ -1,0 +1,31 @@
+"""File-system substrates over the simulated SSDs.
+
+Figure 9 of the paper compares software approaches to retaining storage
+state (Ext4 data journaling, F2FS log-structured writes) against TimeSSD
+under a plain, journal-free file system.  These simulators reproduce the
+*write traffic patterns* of each design over the same block device:
+
+* :class:`JournalingFS` — ext4-style data journaling: every update is
+  written twice (journal, then home location) plus a commit record;
+* :class:`LogStructuredFS` — F2FS-style: updates go to fresh blocks
+  (out-of-place at the FS level) plus periodic node-table updates;
+* :class:`PlainFS` — in-place updates with no journal, relying on the
+  device (TimeSSD) for history and recovery.
+"""
+
+from repro.fs.allocator import BlockAllocator
+from repro.fs.base import FileSystemBase, FileStats
+from repro.fs.cow import CowFS
+from repro.fs.journaling import JournalingFS
+from repro.fs.logstructured import LogStructuredFS
+from repro.fs.plain import PlainFS
+
+__all__ = [
+    "BlockAllocator",
+    "FileSystemBase",
+    "FileStats",
+    "CowFS",
+    "JournalingFS",
+    "LogStructuredFS",
+    "PlainFS",
+]

@@ -1,0 +1,235 @@
+"""Common file-system machinery: layout, inodes, data placement.
+
+The substrates model a flat-namespace file system with page-granular
+extents.  What matters for the paper's experiments is the *write traffic*
+each design generates (data pages, metadata pages, journal pages), so the
+on-"disk" structures are kept structurally (Python objects) while every
+page-sized update is issued to the SSD as a real page write with
+realistic content.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import FileSystemError
+from repro.fs.allocator import BlockAllocator
+
+INODES_PER_PAGE = 32
+
+
+@dataclass
+class Inode:
+    """One file's metadata."""
+
+    inode_id: int
+    name: str
+    size: int = 0
+    mtime_us: int = 0
+    version: int = 0
+    extents: dict = field(default_factory=dict)  # file page index -> LPA
+
+
+@dataclass
+class FileStats:
+    """Write-traffic breakdown (the Figure 9 comparison signal)."""
+
+    data_page_writes: int = 0
+    meta_page_writes: int = 0
+    journal_page_writes: int = 0
+    pages_read: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+    @property
+    def total_page_writes(self):
+        return self.data_page_writes + self.meta_page_writes + self.journal_page_writes
+
+
+class FileSystemBase:
+    """Shared logic; subclasses specialize placement and journaling."""
+
+    #: Fraction of the device set aside for file data (rest: metadata).
+    name = "basefs"
+
+    def __init__(self, ssd, max_files=1024):
+        self.ssd = ssd
+        self.page_size = ssd.device.geometry.page_size
+        inode_pages = max(1, max_files // INODES_PER_PAGE)
+        reserved = 1 + inode_pages + self._journal_pages()
+        data_pages = ssd.logical_pages - reserved
+        if data_pages <= 0:
+            raise FileSystemError("device too small for file system layout")
+        self._inode_region_start = 1
+        self._inode_pages = inode_pages
+        self._journal_start = 1 + inode_pages
+        self.allocator = BlockAllocator(reserved, data_pages)
+        self._inodes = {}
+        self._next_inode_id = 0
+        self.max_files = max_files
+        self.stats = FileStats()
+        self._write_superblock()
+
+    # --- Layout hooks ---------------------------------------------------------
+
+    def _journal_pages(self):
+        return 0
+
+    # --- Metadata writes ------------------------------------------------------
+
+    def _meta_page_content(self, tag, version):
+        """Realistic metadata page content: mostly stable, small churn."""
+        header = ("%s:%s:v%d" % (self.name, tag, version)).encode()
+        return header.ljust(self.page_size, b"\x00")[: self.page_size]
+
+    def _write_superblock(self):
+        self.ssd.write(0, self._meta_page_content("super", 0))
+        self.stats.meta_page_writes += 1
+
+    def _inode_lpa(self, inode_id):
+        return self._inode_region_start + (inode_id // INODES_PER_PAGE) % self._inode_pages
+
+    def _write_inode(self, inode):
+        inode.version += 1
+        lpa = self._inode_lpa(inode.inode_id)
+        self.ssd.write(lpa, self._meta_page_content("inode%d" % lpa, inode.version))
+        self.stats.meta_page_writes += 1
+
+    # --- Namespace -------------------------------------------------------------
+
+    def create(self, name):
+        if name in self._inodes:
+            raise FileSystemError("file exists: %r" % name)
+        if len(self._inodes) >= self.max_files:
+            raise FileSystemError("too many files")
+        inode = Inode(self._next_inode_id, name, mtime_us=self.ssd.clock.now_us)
+        self._next_inode_id += 1
+        self._inodes[name] = inode
+        self._write_inode(inode)
+        return inode
+
+    def exists(self, name):
+        return name in self._inodes
+
+    def list_files(self):
+        return sorted(self._inodes)
+
+    def _inode(self, name):
+        inode = self._inodes.get(name)
+        if inode is None:
+            raise FileSystemError("no such file: %r" % name)
+        return inode
+
+    def file_size(self, name):
+        return self._inode(name).size
+
+    def file_lpas(self, name):
+        """The file's page extents — what TimeKits recovery operates on."""
+        inode = self._inode(name)
+        return [inode.extents[i] for i in sorted(inode.extents)]
+
+    def delete(self, name):
+        inode = self._inode(name)
+        for lpa in inode.extents.values():
+            self.ssd.trim(lpa)
+            self.allocator.release(lpa)
+        del self._inodes[name]
+        self._write_inode(inode)
+
+    # --- Data path (subclass hooks) -----------------------------------------------
+
+    def _place_page(self, inode, page_index):
+        """LPA to write for this file page (may reuse or remap)."""
+        raise NotImplementedError
+
+    def _data_write(self, inode, page_index, content):
+        lpa = self._place_page(inode, page_index)
+        self.ssd.write(lpa, content)
+        self.stats.data_page_writes += 1
+        return lpa
+
+    def _pre_write(self, inode, page_payloads):
+        """Hook before in-place data writes (journaling goes here)."""
+
+    # --- Public I/O ----------------------------------------------------------------
+
+    def write(self, name, offset, data):
+        """Write ``data`` bytes at byte ``offset``; returns bytes written."""
+        if offset < 0:
+            raise FileSystemError("negative offset")
+        inode = self._inode(name)
+        payloads = self._paginate(inode, offset, data)
+        self._pre_write(inode, payloads)
+        for page_index, content in payloads:
+            self._data_write(inode, page_index, content)
+        inode.size = max(inode.size, offset + len(data))
+        inode.mtime_us = self.ssd.clock.now_us
+        self._write_inode(inode)
+        self.stats.bytes_written += len(data)
+        return len(data)
+
+    def write_pages(self, name, first_page, npages, contents=None):
+        """Page-aligned fast path; ``contents`` is an optional page list."""
+        inode = self._inode(name)
+        payloads = []
+        for i in range(npages):
+            content = contents[i] if contents is not None else None
+            payloads.append((first_page + i, content))
+        self._pre_write(inode, payloads)
+        for page_index, content in payloads:
+            self._data_write(inode, page_index, content)
+        inode.size = max(inode.size, (first_page + npages) * self.page_size)
+        inode.mtime_us = self.ssd.clock.now_us
+        self._write_inode(inode)
+        self.stats.bytes_written += npages * self.page_size
+        return npages
+
+    def read(self, name, offset, length):
+        """Read ``length`` bytes at ``offset``; returns bytes (or None
+        page placeholders joined as zero bytes in content-less mode)."""
+        inode = self._inode(name)
+        if offset >= inode.size:
+            return b""
+        length = min(length, inode.size - offset)
+        out = bytearray()
+        first = offset // self.page_size
+        last = (offset + length - 1) // self.page_size
+        for page_index in range(first, last + 1):
+            page = self._read_page(inode, page_index)
+            out.extend(page)
+        start = offset - first * self.page_size
+        self.stats.bytes_read += length
+        return bytes(out[start : start + length])
+
+    def read_pages(self, name, first_page, npages):
+        inode = self._inode(name)
+        return [self._read_page(inode, first_page + i) for i in range(npages)]
+
+    def _read_page(self, inode, page_index):
+        lpa = inode.extents.get(page_index)
+        if lpa is None:
+            return bytes(self.page_size)
+        data, _ = self.ssd.read(lpa)
+        self.stats.pages_read += 1
+        if data is None:
+            return bytes(self.page_size)
+        return data
+
+    def _paginate(self, inode, offset, data):
+        """Split a byte write into page payloads, read-modify-writing
+        partial head/tail pages like a real FS."""
+        payloads = []
+        cursor = 0
+        while cursor < len(data):
+            absolute = offset + cursor
+            page_index = absolute // self.page_size
+            within = absolute % self.page_size
+            take = min(self.page_size - within, len(data) - cursor)
+            chunk = data[cursor : cursor + take]
+            if take == self.page_size:
+                content = chunk
+            else:
+                existing = bytearray(self._read_page(inode, page_index))
+                existing[within : within + take] = chunk
+                content = bytes(existing)
+            payloads.append((page_index, content))
+            cursor += take
+        return payloads

@@ -1,0 +1,182 @@
+"""Copy-on-write snapshotting file system (ext3cow / btrfs style).
+
+The paper's related work (§6) contrasts TimeSSD with *software*
+versioning: snapshotting and versioning file systems retain history
+above the block interface.  This substrate implements that alternative
+so the extension benchmark can compare the two approaches head-to-head:
+
+* ``snapshot()`` opens a new epoch; the first write to any page after a
+  snapshot copies it to a fresh location (COW) so the snapshot keeps
+  the old block;
+* ``read_at(name, snapshot_id, ...)`` reads a file as of a snapshot;
+* ``delete_snapshot()`` releases page versions no live snapshot needs.
+
+Unlike TimeSSD's firmware retention, all of this is ordinary host
+software: a kernel-privileged attacker can simply call
+``delete_snapshot`` — which is precisely the paper's motivation — and
+every retained version costs a full page of user-visible space.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import FileSystemError
+from repro.fs.base import FileSystemBase
+
+
+@dataclass
+class _PageVersion:
+    """One on-disk version of a file page."""
+
+    lpa: int
+    birth_epoch: int
+    death_epoch: int = None  # epoch in which it was superseded (None = live)
+
+
+class CowFS(FileSystemBase):
+    """Snapshotting FS with page-granular copy-on-write."""
+
+    name = "cowfs"
+
+    def __init__(self, ssd, max_files=1024):
+        super().__init__(ssd, max_files=max_files)
+        self._epoch = 0
+        self._snapshots = {}  # snapshot id -> epoch frozen
+        self._next_snapshot_id = 1
+        # (inode_id, page_index) -> [ _PageVersion, ... ] oldest first.
+        self._versions = {}
+
+    # --- Snapshot management ------------------------------------------------------
+
+    def snapshot(self):
+        """Freeze the current state; returns a snapshot id."""
+        snapshot_id = self._next_snapshot_id
+        self._next_snapshot_id += 1
+        self._snapshots[snapshot_id] = self._epoch
+        self._epoch += 1
+        # Superblock write records the snapshot, like a real FS commit.
+        self.ssd.write(0, self._meta_page_content("snap", snapshot_id))
+        self.stats.meta_page_writes += 1
+        return snapshot_id
+
+    def snapshots(self):
+        return sorted(self._snapshots)
+
+    def delete_snapshot(self, snapshot_id):
+        """Drop a snapshot and free versions nothing else references.
+
+        This is the operation ransomware with kernel privileges uses to
+        destroy software-retained history — it succeeds silently, which
+        is the contrast with TimeSSD's firmware-isolated retention.
+        """
+        if snapshot_id not in self._snapshots:
+            raise FileSystemError("no such snapshot: %r" % snapshot_id)
+        del self._snapshots[snapshot_id]
+        self._reap_unreferenced()
+
+    def _live_epochs(self):
+        return set(self._snapshots.values())
+
+    def _reap_unreferenced(self):
+        live = self._live_epochs()
+        for key, versions in self._versions.items():
+            kept = []
+            for version in versions:
+                if version.death_epoch is None:
+                    kept.append(version)  # current content, always kept
+                    continue
+                needed = any(
+                    version.birth_epoch <= epoch < version.death_epoch
+                    for epoch in live
+                )
+                if needed:
+                    kept.append(version)
+                else:
+                    self.ssd.trim(version.lpa)
+                    self.allocator.release(version.lpa)
+            self._versions[key] = kept
+
+    # --- COW placement ------------------------------------------------------------
+
+    def _place_page(self, inode, page_index):
+        key = (inode.inode_id, page_index)
+        versions = self._versions.setdefault(key, [])
+        current = versions[-1] if versions else None
+        if current is None:
+            lpa = self.allocator.allocate()
+            versions.append(_PageVersion(lpa, self._epoch))
+            inode.extents[page_index] = lpa
+            return lpa
+        if current.birth_epoch == self._epoch or not self._snapshot_covers(current):
+            # No snapshot holds this version: overwrite in place.
+            return current.lpa
+        # COW: the old version belongs to a snapshot; write elsewhere.
+        lpa = self.allocator.allocate()
+        current.death_epoch = self._epoch
+        versions.append(_PageVersion(lpa, self._epoch))
+        inode.extents[page_index] = lpa
+        return lpa
+
+    def _snapshot_covers(self, version):
+        return any(epoch >= version.birth_epoch for epoch in self._live_epochs())
+
+    # --- Time-travel reads ----------------------------------------------------------
+
+    def _version_at(self, inode, page_index, epoch):
+        versions = self._versions.get((inode.inode_id, page_index), [])
+        for version in reversed(versions):
+            died = version.death_epoch
+            if version.birth_epoch <= epoch and (died is None or died > epoch):
+                return version
+        return None
+
+    def read_at(self, name, snapshot_id, offset, length):
+        """Read file content as of ``snapshot_id``."""
+        if snapshot_id not in self._snapshots:
+            raise FileSystemError("no such snapshot: %r" % snapshot_id)
+        epoch = self._snapshots[snapshot_id]
+        inode = self._inode(name)
+        out = bytearray()
+        first = offset // self.page_size
+        last = (offset + length - 1) // self.page_size
+        for page_index in range(first, last + 1):
+            version = self._version_at(inode, page_index, epoch)
+            if version is None:
+                out.extend(bytes(self.page_size))
+                continue
+            data, _ = self.ssd.read(version.lpa)
+            self.stats.pages_read += 1
+            out.extend(data if data is not None else bytes(self.page_size))
+        start = offset - first * self.page_size
+        return bytes(out[start : start + length])
+
+    def restore_from_snapshot(self, name, snapshot_id):
+        """Roll a file back to a snapshot (writes the old content)."""
+        inode = self._inode(name)
+        size = inode.size
+        content = self.read_at(name, snapshot_id, 0, size)
+        self.write(name, 0, content)
+        return size
+
+    # --- Accounting ------------------------------------------------------------------
+
+    def retained_version_pages(self):
+        """Pages consumed purely by snapshot history (dead versions)."""
+        return sum(
+            1
+            for versions in self._versions.values()
+            for version in versions
+            if version.death_epoch is not None
+        )
+
+    def delete(self, name):
+        inode = self._inode(name)
+        # Current extents may be snapshot-referenced; only free versions
+        # no snapshot covers.
+        for page_index in list(inode.extents):
+            key = (inode.inode_id, page_index)
+            versions = self._versions.get(key, [])
+            if versions:
+                versions[-1].death_epoch = self._epoch
+        del self._inodes[name]
+        self._write_inode(inode)
+        self._reap_unreferenced()

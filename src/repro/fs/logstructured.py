@@ -1,0 +1,45 @@
+"""F2FS-style log-structured file system.
+
+Updates never overwrite in place at the FS level: each written page gets
+a fresh LPA (the old one is trimmed and freed) and node/NAT metadata is
+updated periodically.  This avoids the journal's double write — the
+paper measures F2FS between Ext4 and TimeSSD — at the cost of FS-level
+cleaning and node-table traffic.
+"""
+
+from repro.fs.base import FileSystemBase
+
+# One NAT/segment-summary page write per this many remapped data pages,
+# approximating F2FS's amortized node traffic.
+NAT_UPDATE_INTERVAL = 64
+
+
+class LogStructuredFS(FileSystemBase):
+    """Out-of-place placement with amortized node-table updates."""
+
+    name = "f2fssim"
+
+    def __init__(self, ssd, max_files=1024):
+        super().__init__(ssd, max_files=max_files)
+        self._remaps_since_nat = 0
+        self.nat_writes = 0
+
+    def _place_page(self, inode, page_index):
+        old = inode.extents.get(page_index)
+        lpa = self.allocator.allocate()
+        inode.extents[page_index] = lpa
+        if old is not None:
+            # The old location is obsolete at the FS level: free and TRIM
+            # it so the device knows (F2FS issues discards the same way).
+            self.ssd.trim(old)
+            self.allocator.release(old)
+        self._remaps_since_nat += 1
+        if self._remaps_since_nat >= NAT_UPDATE_INTERVAL:
+            self._remaps_since_nat = 0
+            self._write_nat_page()
+        return lpa
+
+    def _write_nat_page(self):
+        self.nat_writes += 1
+        self.ssd.write(0, self._meta_page_content("nat", self.nat_writes))
+        self.stats.meta_page_writes += 1

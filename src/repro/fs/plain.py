@@ -1,0 +1,21 @@
+"""Plain in-place file system — the one the paper runs on TimeSSD.
+
+No journal: data pages have stable LPAs and are overwritten in place
+(the device's out-of-place machinery underneath retains history).  This
+is "Ext4 with journaling disabled" from the paper's §5.3 methodology.
+"""
+
+from repro.fs.base import FileSystemBase
+
+
+class PlainFS(FileSystemBase):
+    """In-place updates, no journaling, no FS-level remapping."""
+
+    name = "plainfs"
+
+    def _place_page(self, inode, page_index):
+        lpa = inode.extents.get(page_index)
+        if lpa is None:
+            lpa = self.allocator.allocate()
+            inode.extents[page_index] = lpa
+        return lpa

@@ -1,0 +1,22 @@
+"""Baseline flash translation layer (the paper's "Regular SSD").
+
+A page-level FTL with the four classic data structures of the paper's
+Figure 3: the address mapping table (AMT) with an optional demand-paged
+cache backed by a global mapping directory (GMD), the block status table
+(BST), and the page validity table (PVT), plus greedy garbage collection,
+wear leveling, and over-provisioning.
+"""
+
+from repro.ftl.block_manager import BlockKind, BlockManager, StreamId
+from repro.ftl.mapping import AddressMappingTable
+from repro.ftl.ssd import BaseSSD, RegularSSD, SSDConfig
+
+__all__ = [
+    "AddressMappingTable",
+    "BlockManager",
+    "BlockKind",
+    "StreamId",
+    "BaseSSD",
+    "RegularSSD",
+    "SSDConfig",
+]

@@ -1,0 +1,292 @@
+"""Block lifecycle management: free pool, active blocks, BST and PVT.
+
+Implements the paper's block status table (BST, per-block status and
+invalid-page counts — extended by TimeSSD to mark delta blocks) and page
+validity table (PVT, per-page valid bits).  Free blocks are handed out
+round-robin across channels so sequential allocation stripes the device.
+"""
+
+import enum
+from collections import deque
+
+from repro.common.errors import AddressError, DeviceFullError
+
+
+class BlockKind(enum.Enum):
+    """What a block currently holds (the BST 'status' column)."""
+
+    FREE = "free"
+    DATA = "data"
+    DELTA = "delta"  # TimeSSD: blocks holding compressed version deltas
+    TRANSLATION = "translation"
+    RETIRED = "retired"  # wore out its P/E budget; never used again
+
+
+class StreamId(enum.Enum):
+    """Independent append points.
+
+    Host writes, GC migrations and delta writes each get their own active
+    block so GC does not mix retained history into fresh user blocks.
+    """
+
+    USER = "user"
+    GC = "gc"
+    DELTA = "delta"
+
+
+class _BlockInfo:
+    __slots__ = ("kind", "valid", "valid_count")
+
+    def __init__(self, pages_per_block):
+        self.kind = BlockKind.FREE
+        self.valid = bytearray(pages_per_block)
+        self.valid_count = 0
+
+
+class BlockManager:
+    """Free-space accounting and page allocation over a flash device."""
+
+    def __init__(self, device, block_endurance_cycles=None):
+        self.device = device
+        self.block_endurance_cycles = block_endurance_cycles
+        self.retired_blocks = 0
+        geo = device.geometry
+        self._geo = geo
+        self._info = [_BlockInfo(geo.pages_per_block) for _ in range(geo.total_blocks)]
+        self._free = [deque() for _ in range(geo.channels)]
+        for pba in range(geo.total_blocks):
+            self._free[geo.channel_of_block(pba)].append(pba)
+        self._free_count = geo.total_blocks
+        self._next_channel = 0
+        # Active (partially programmed) blocks per stream.  Striped
+        # streams (host writes, GC migration) keep one append block per
+        # channel and rotate, as real FTLs do to exploit parallelism;
+        # unstriped streams (delta blocks) fill one block at a time.
+        self._active = {}
+
+    # --- Free pool -----------------------------------------------------------
+
+    @property
+    def free_block_count(self):
+        return self._free_count
+
+    def _pop_free_block(self, preferred_channel=None):
+        """Take a free block, preferring a channel (else round-robin)."""
+        if self._free_count == 0:
+            raise DeviceFullError("no free blocks available")
+        channels = self._geo.channels
+        start = self._next_channel if preferred_channel is None else preferred_channel
+        for probe in range(channels):
+            channel = (start + probe) % channels
+            if self._free[channel]:
+                if preferred_channel is None:
+                    self._next_channel = (channel + 1) % channels
+                self._free_count -= 1
+                return self._free[channel].popleft()
+        raise DeviceFullError("free count out of sync with pools")
+
+    def release_block(self, pba):
+        """Return an erased block to the free pool — or retire it.
+
+        With a configured endurance budget, a block that has used up its
+        program/erase cycles is retired instead of reused (bad-block
+        management); the device shrinks until the pool runs dry.
+        """
+        info = self._info[pba]
+        if info.valid_count:
+            raise AddressError("releasing block %d with valid pages" % pba)
+        info.valid[:] = bytes(len(info.valid))
+        self._forget_active(pba)
+        if (
+            self.block_endurance_cycles is not None
+            and self.device.blocks[pba].erase_count >= self.block_endurance_cycles
+        ):
+            info.kind = BlockKind.RETIRED
+            self.retired_blocks += 1
+            return
+        info.kind = BlockKind.FREE
+        self._free[self._geo.channel_of_block(pba)].append(pba)
+        self._free_count += 1
+
+    def _forget_active(self, pba):
+        # A stream whose (full) active block got reclaimed must open a
+        # fresh block on its next allocation, not write into a freed one.
+        for state in self._active.values():
+            blocks = state["blocks"]
+            for i, active in enumerate(blocks):
+                if active == pba:
+                    blocks[i] = None
+
+    # --- Allocation ----------------------------------------------------------
+
+    _STREAM_KIND = {
+        StreamId.USER: BlockKind.DATA,
+        StreamId.GC: BlockKind.DATA,
+        StreamId.DELTA: BlockKind.DELTA,
+    }
+
+    # Streams that stripe consecutive pages across channels.
+    _STRIPED_STREAMS = frozenset((StreamId.USER, StreamId.GC))
+
+    def allocate_page(self, stream):
+        """Next writable PPA for ``stream``, opening a new block if needed."""
+        return self.allocate_page_keyed(
+            stream,
+            self._STREAM_KIND[stream],
+            striped=stream in self._STRIPED_STREAMS,
+        )
+
+    def allocate_page_keyed(self, key, kind, striped=False):
+        """Like :meth:`allocate_page` but for a dynamic stream ``key``.
+
+        TimeSSD uses one (unstriped) stream per bloom-filter time segment
+        so each segment's deltas land in dedicated delta blocks (§3.6).
+        Striped streams rotate across one append block per channel, so
+        consecutive pages land on different channels — the layout that
+        lets multi-threaded TimeKits recovery overlap reads.
+        """
+        channels = self._geo.channels if striped else 1
+        state = self._active.get(key)
+        if state is None:
+            state = {"blocks": [None] * channels, "next": 0}
+            self._active[key] = state
+        slot = state["next"]
+        state["next"] = (slot + 1) % channels
+        pba = state["blocks"][slot]
+        if pba is not None and self.device.blocks[pba].is_full:
+            pba = None
+        if pba is None:
+            preferred = slot if striped else None
+            pba = self._pop_free_block(preferred_channel=preferred)
+            self._info[pba].kind = kind
+            state["blocks"][slot] = pba
+        offset = self.device.blocks[pba].write_pointer
+        return self._geo.first_page_of_block(pba) + offset
+
+    def close_stream(self, key):
+        """Forget the active block(s) of a dynamic stream (e.g. BF dropped).
+
+        Returns the block that was active (unstriped streams), or None.
+        The caller owns reclamation of the returned block.
+        """
+        state = self._active.pop(key, None)
+        if state is None:
+            return None
+        blocks = [pba for pba in state["blocks"] if pba is not None]
+        return blocks[0] if blocks else None
+
+    def stream_blocks(self, key):
+        """Current active block for an unstriped ``key`` (or None)."""
+        state = self._active.get(key)
+        if state is None:
+            return None
+        blocks = [pba for pba in state["blocks"] if pba is not None]
+        return blocks[0] if blocks else None
+
+    def active_block(self, stream):
+        return self.stream_blocks(stream)
+
+    def active_blocks(self):
+        out = set()
+        for state in self._active.values():
+            out.update(pba for pba in state["blocks"] if pba is not None)
+        return out
+
+    # --- Validity tracking (PVT) ---------------------------------------------
+
+    def mark_valid(self, ppa):
+        pba = self._geo.block_of_page(ppa)
+        offset = self._geo.page_offset(ppa)
+        info = self._info[pba]
+        if not info.valid[offset]:
+            info.valid[offset] = 1
+            info.valid_count += 1
+
+    def invalidate_page(self, ppa):
+        """Clear the PVT bit for ``ppa`` (update/delete made it stale)."""
+        pba = self._geo.block_of_page(ppa)
+        offset = self._geo.page_offset(ppa)
+        info = self._info[pba]
+        if info.valid[offset]:
+            info.valid[offset] = 0
+            info.valid_count -= 1
+
+    def is_valid(self, ppa):
+        pba = self._geo.block_of_page(ppa)
+        return bool(self._info[pba].valid[self._geo.page_offset(ppa)])
+
+    def valid_count(self, pba):
+        return self._info[pba].valid_count
+
+    def invalid_count(self, pba):
+        """Programmed-but-stale page count (the BST invalid counter)."""
+        programmed = self.device.blocks[pba].write_pointer
+        return programmed - self._info[pba].valid_count
+
+    def kind(self, pba):
+        return self._info[pba].kind
+
+    def set_kind(self, pba, kind):
+        self._info[pba].kind = kind
+
+    # --- Victim selection ----------------------------------------------------
+
+    def sealed_blocks(self, kind=None):
+        """PBAs of full, non-free blocks (optionally of one kind).
+
+        A block that is still a stream's append point but already full
+        counts as sealed — nothing more will ever be written to it.
+        """
+        for pba, info in enumerate(self._info):
+            if info.kind is BlockKind.FREE:
+                continue
+            if kind is not None and info.kind is not kind:
+                continue
+            if self.device.blocks[pba].is_full:
+                yield pba
+
+    def select_greedy_victim(self, kind=BlockKind.DATA):
+        """Sealed block of ``kind`` with the most invalid pages, or None."""
+        best_pba = None
+        best_invalid = 0
+        for pba in self.sealed_blocks(kind):
+            invalid = self.invalid_count(pba)
+            if invalid > best_invalid:
+                best_invalid = invalid
+                best_pba = pba
+        return best_pba
+
+    def select_cost_benefit_victim(self, now_us, kind=BlockKind.DATA):
+        """LFS-style cost-benefit victim: maximize (1-u)*age / (1+u).
+
+        ``u`` is the block\'s valid fraction (the migration cost) and
+        ``age`` is time since its last program — old, mostly-invalid
+        blocks win, which beats pure greed under hot/cold skew because
+        cold blocks are cleaned while their garbage is still garbage.
+        """
+        best_pba = None
+        best_score = 0.0
+        for pba in self.sealed_blocks(kind):
+            programmed = self.device.blocks[pba].write_pointer
+            if programmed == 0 or self.invalid_count(pba) == 0:
+                continue
+            u = self._info[pba].valid_count / programmed
+            age = max(1, now_us - self.device.blocks[pba].last_program_us)
+            score = (1.0 - u) * age / (1.0 + u)
+            if score > best_score:
+                best_score = score
+                best_pba = pba
+        return best_pba
+
+    def select_victim(self, policy, now_us, kind=BlockKind.DATA):
+        """Dispatch on the configured GC victim policy."""
+        if policy == "greedy":
+            return self.select_greedy_victim(kind)
+        if policy == "cost_benefit":
+            return self.select_cost_benefit_victim(now_us, kind)
+        raise AddressError("unknown GC policy %r" % policy)
+
+    def utilization(self):
+        """Fraction of non-free blocks."""
+        total = self._geo.total_blocks
+        return (total - self._free_count) / total

@@ -1,0 +1,375 @@
+"""The baseline SSD: write path, read path, TRIM, greedy GC.
+
+:class:`BaseSSD` implements everything a regular page-mapped SSD does and
+exposes the hook points TimeSSD overrides (what happens when a page is
+invalidated, and how garbage collection treats invalid pages).
+:class:`RegularSSD` is the paper's comparison baseline — invalid pages are
+reclaimed immediately.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.clock import SimClock
+from repro.common.idle import IdlePredictor
+from repro.common.errors import DeviceFullError
+from repro.common.stats import LatencyStats
+from repro.flash.device import FlashDevice
+from repro.flash.geometry import FlashGeometry
+from repro.flash.page import NULL_PPA, OOBMetadata
+from repro.flash.timing import FlashTiming
+from repro.ftl.block_manager import BlockKind, BlockManager, StreamId
+from repro.ftl.mapping import AddressMappingTable
+from repro.ftl.wear_leveling import WearLeveler
+
+
+@dataclass
+class SSDConfig:
+    """Configuration shared by the regular SSD and TimeSSD.
+
+    ``op_ratio`` is the over-provisioning fraction (the paper's board has
+    1 TB plus 15% OP).  ``gc_low_watermark`` (blocks) triggers GC when the
+    free pool falls to it; ``None`` derives a default from geometry.
+    """
+
+    geometry: FlashGeometry = field(default_factory=FlashGeometry)
+    timing: FlashTiming = field(default_factory=FlashTiming)
+    op_ratio: float = 0.15
+    gc_low_watermark: int = None
+    #: Run GC opportunistically during predicted-idle windows.
+    background_gc: bool = True
+    #: Rated program/erase cycles per block (None = unlimited).  When a
+    #: block exhausts its budget it is retired, shrinking the device.
+    block_endurance_cycles: int = None
+    #: GC victim selection: "greedy" (most invalid pages) or
+    #: "cost_benefit" (LFS-style age-weighted).
+    gc_policy: str = "greedy"
+    #: Optional :class:`~repro.flash.reliability.FlashReliability` model
+    #: (None = error-free flash).
+    reliability: object = None
+    mapping_cache_entries: int = None
+    wear_check_interval: int = 64
+    wear_gap_threshold: int = 16
+
+    def __post_init__(self):
+        if not 0 < self.op_ratio < 1:
+            raise ValueError("op_ratio must be in (0, 1)")
+        if self.gc_low_watermark is None:
+            # Striped streams open one append block per channel, so the
+            # pool must comfortably cover that plus GC's own appetite.
+            self.gc_low_watermark = max(
+                4,
+                self.geometry.channels + 2,
+                self.geometry.total_blocks // 100,
+            )
+
+    @property
+    def logical_pages(self):
+        """User-visible capacity in pages (raw capacity minus OP)."""
+        return int(self.geometry.total_pages / (1.0 + self.op_ratio))
+
+
+class BaseSSD:
+    """Common machinery of a page-mapped SSD."""
+
+    def __init__(self, config=None, clock=None):
+        self.config = config or SSDConfig()
+        self.clock = clock or SimClock()
+        self.device = FlashDevice(
+            self.config.geometry, self.config.timing, self.config.reliability
+        )
+        self.block_manager = BlockManager(
+            self.device, self.config.block_endurance_cycles
+        )
+        self.mapping = AddressMappingTable(
+            self.config.logical_pages, self.config.mapping_cache_entries
+        )
+        self.wear_leveler = WearLeveler(
+            self,
+            self.config.wear_check_interval,
+            self.config.wear_gap_threshold,
+        )
+        self.host_pages_written = 0
+        self.host_pages_read = 0
+        self.write_latency = LatencyStats()
+        self.read_latency = LatencyStats()
+        self.gc_runs = 0
+        self.background_gc_runs = 0
+        self._last_io_end_us = self.clock.now_us
+        self._idle = IdlePredictor()
+        self._gc_is_background = False
+        self._translation_reads_seen = 0
+        self._translation_writes_seen = 0
+
+    # --- Host interface -------------------------------------------------------
+
+    @property
+    def logical_pages(self):
+        return self.config.logical_pages
+
+    def write(self, lpa, data=None):
+        """Write one logical page; returns the response time in us."""
+        arrival = self.clock.now_us
+        self._before_host_request(arrival)
+        self._ensure_free_space(arrival)
+        complete = self._program_user_page(lpa, data, self.clock.now_us)
+        self.clock.advance_to(complete)
+        self.host_pages_written += 1
+        response = complete - arrival
+        self.write_latency.record(response)
+        self._after_host_request(self.clock.now_us, wrote=True)
+        return response
+
+    def read(self, lpa):
+        """Read one logical page; returns ``(data, response_us)``.
+
+        Reading a never-written page returns ``(None, 0)`` — the device
+        answers from the mapping table without touching flash, as real
+        FTLs do for unmapped LBAs.
+        """
+        arrival = self.clock.now_us
+        self._before_host_request(arrival)
+        ppa = self.mapping.lookup(lpa)
+        start = self._translation_delay(arrival)
+        self.host_pages_read += 1
+        if ppa == NULL_PPA:
+            self.read_latency.record(0)
+            self._after_host_request(self.clock.now_us, wrote=False)
+            return None, 0
+        result = self.device.read_page(ppa, start)
+        self.clock.advance_to(result.complete_us)
+        response = result.complete_us - arrival
+        self.read_latency.record(response)
+        self._after_host_request(self.clock.now_us, wrote=False)
+        return result.data, response
+
+    def trim(self, lpa):
+        """Delete a logical page (e.g. file deletion punched through)."""
+        arrival = self.clock.now_us
+        self._before_host_request(arrival)
+        old = self.mapping.invalidate(lpa)
+        if old != NULL_PPA:
+            self._on_invalidate(lpa, old, arrival)
+        self._after_host_request(self.clock.now_us, wrote=False)
+
+    def write_range(self, start_lpa, npages, pages=None):
+        """Write ``npages`` consecutive pages; returns total response us."""
+        total = 0
+        for i in range(npages):
+            data = pages[i] if pages is not None else None
+            total += self.write(start_lpa + i, data)
+        return total
+
+    def read_range(self, start_lpa, npages):
+        """Read consecutive pages; returns ``(list_of_data, total_us)``."""
+        total = 0
+        out = []
+        for i in range(npages):
+            data, response = self.read(start_lpa + i)
+            out.append(data)
+            total += response
+        return out, total
+
+    # --- Stats ------------------------------------------------------------
+
+    @property
+    def write_amplification(self):
+        """Flash page programs divided by host page writes."""
+        if self.host_pages_written == 0:
+            return 0.0
+        return self.device.counters.page_programs / self.host_pages_written
+
+    def endurance_report(self):
+        """Device health: wear consumed, spread, retired blocks."""
+        counts = self.device.block_erase_counts()
+        rated = self.config.block_endurance_cycles
+        report = {
+            "total_erases": sum(counts),
+            "max_pe_cycles": max(counts),
+            "min_pe_cycles": min(counts),
+            "retired_blocks": self.block_manager.retired_blocks,
+            "rated_pe_cycles": rated,
+        }
+        if rated:
+            report["life_used"] = sum(counts) / (len(counts) * rated)
+        return report
+
+    def free_page_estimate(self):
+        """Free pages = free blocks plus the room left in active blocks."""
+        bm = self.block_manager
+        pages = bm.free_block_count * self.device.geometry.pages_per_block
+        for pba in bm.active_blocks():
+            block = self.device.blocks[pba]
+            pages += len(block.pages) - block.write_pointer
+        return pages
+
+    # --- Write-path internals ----------------------------------------------
+
+    def _program_user_page(self, lpa, data, now_us):
+        """Allocate, program and map one user page; returns completion."""
+        ppa = self.block_manager.allocate_page(StreamId.USER)
+        old = self.mapping.update(lpa, ppa)
+        now_us = self._translation_delay(now_us)
+        back = self._back_pointer_for(lpa, old)
+        oob = OOBMetadata(lpa=lpa, back_pointer=back, timestamp_us=now_us)
+        complete = self.device.program_page(ppa, data, oob, now_us)
+        self.block_manager.mark_valid(ppa)
+        if old != NULL_PPA:
+            self._on_invalidate(lpa, old, now_us)
+        return complete
+
+    def _ensure_free_space(self, now_us):
+        guard = 0
+        while self.block_manager.free_block_count <= self.config.gc_low_watermark:
+            self._collect_garbage(now_us)
+            self.gc_runs += 1
+            guard += 1
+            if guard > self.device.geometry.total_blocks:
+                raise DeviceFullError("GC cannot make progress")
+
+    def _translation_delay(self, now_us):
+        """Charge pending DFTL translation-page I/O (demand cache mode).
+
+        With a finite mapping cache, misses read translation pages and
+        dirty evictions write them back — real flash operations a request
+        waits on.  The fully-cached default never charges anything.
+        """
+        mapping = self.mapping
+        delta_r = mapping.translation_reads - self._translation_reads_seen
+        delta_w = mapping.translation_writes - self._translation_writes_seen
+        if not delta_r and not delta_w:
+            return now_us
+        self._translation_reads_seen = mapping.translation_reads
+        self._translation_writes_seen = mapping.translation_writes
+        timing = self.device.timing
+        self.device.counters.translation_reads += delta_r
+        self.device.counters.translation_writes += delta_w
+        latency = delta_r * timing.read_us + delta_w * timing.program_us
+        channel, _free = self.device.timelines.earliest_free(now_us)
+        return self.device.timelines.schedule(channel, now_us, latency)
+
+    # --- Idle-window machinery (shared by all devices) ------------------------
+
+    #: Background GC tops the pool up to this many times the low
+    #: watermark during idle windows, keeping reclamation off the
+    #: foreground path as real firmware does.
+    BACKGROUND_GC_HEADROOM = 2
+
+    def _before_host_request(self, arrival_us):
+        """Detect the idle gap that just ended and spend it on housekeeping."""
+        gap = arrival_us - self._last_io_end_us
+        if gap <= 0:
+            return
+        if self._idle.would_compress:
+            self._use_idle_window(self._last_io_end_us, arrival_us)
+        self._idle.observe_gap(gap)
+
+    def _use_idle_window(self, start_us, deadline_us):
+        """Housekeeping inside a predicted-idle window.
+
+        The base device runs background GC; TimeSSD extends this with
+        background delta compression.  Work must stay inside the window —
+        the request arriving at ``deadline_us`` never waits on it.
+        """
+        if self.config.background_gc:
+            self._background_collect(start_us, deadline_us)
+
+    def _background_collect(self, start_us, deadline_us):
+        """GC rounds during idle, budgeted by an upper-bound round cost.
+
+        Returns the time cursor where the window's remaining budget
+        starts (TimeSSD continues with background compression from it).
+        """
+        geo = self.device.geometry
+        timing = self.device.timing
+        round_bound = (
+            geo.pages_per_block
+            * (timing.read_us + timing.program_us + timing.delta_compress_us)
+            + timing.erase_us
+        )
+        target = self.BACKGROUND_GC_HEADROOM * self.config.gc_low_watermark
+        t = start_us
+        self._gc_is_background = True
+        try:
+            while (
+                self.block_manager.free_block_count < target
+                and t + round_bound <= deadline_us
+            ):
+                try:
+                    self._collect_garbage(t)
+                except DeviceFullError:
+                    break
+                self.background_gc_runs += 1
+                t += round_bound
+        finally:
+            self._gc_is_background = False
+        return t
+
+    # --- Hooks overridden by TimeSSD ----------------------------------------
+
+    def _back_pointer_for(self, lpa, old_ppa):
+        """Back-pointer for a fresh write of ``lpa`` whose previous PPA
+        was ``old_ppa`` (TimeSSD: consults TRIM tombstones)."""
+        return old_ppa
+
+    def _after_host_request(self, complete_us, wrote):
+        """Called after every host request completes."""
+        self._last_io_end_us = complete_us
+
+    def _on_invalidate(self, lpa, old_ppa, now_us):
+        """An update/TRIM made ``old_ppa`` stale.
+
+        The regular SSD just clears the PVT bit; TimeSSD additionally
+        registers the page in the active bloom filter so it is *retained*.
+        """
+        self.block_manager.invalidate_page(old_ppa)
+
+    def _collect_garbage(self, now_us):
+        """Reclaim one block using the configured victim policy."""
+        victim = self.block_manager.select_victim(
+            self.config.gc_policy, now_us, BlockKind.DATA
+        )
+        if victim is None:
+            raise DeviceFullError("no GC victim: device is full of valid data")
+        self.relocate_block(victim, now_us)
+
+    # --- Shared mechanics ----------------------------------------------------
+
+    def relocate_block(self, pba, now_us):
+        """Migrate every valid page out of ``pba``, erase and free it.
+
+        Used both by GC and by wear leveling.  Migrated pages keep their
+        OOB metadata (same version: same timestamp and back-pointer).
+        """
+        self._migrate_valid_pages(pba, now_us)
+        self._erase_and_release(pba, now_us)
+
+    def _migrate_valid_pages(self, pba, now_us):
+        geo = self.device.geometry
+        bm = self.block_manager
+        for ppa in geo.pages_of_block(pba):
+            if not bm.is_valid(ppa):
+                continue
+            result = self.device.read_page(ppa, now_us)
+            new_ppa = bm.allocate_page(StreamId.GC)
+            self.device.program_page(new_ppa, result.data, result.oob, now_us)
+            bm.mark_valid(new_ppa)
+            bm.invalidate_page(ppa)
+            self._remap_migrated_page(result.oob, ppa, new_ppa)
+
+    def _remap_migrated_page(self, oob, old_ppa, new_ppa):
+        """Point the mapping at the migrated copy (no invalidation hook)."""
+        current = self.mapping.lookup(oob.lpa)
+        if current == old_ppa:
+            self.mapping.update(oob.lpa, new_ppa)
+
+    def _erase_and_release(self, pba, now_us):
+        self.device.erase_block(pba, now_us)
+        self.block_manager.release_block(pba)
+        self.wear_leveler.on_erase(now_us)
+
+
+class RegularSSD(BaseSSD):
+    """The paper's baseline: a conventional page-mapped SSD.
+
+    Invalid pages are reclaimable immediately; nothing is retained.
+    """

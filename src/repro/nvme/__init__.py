@@ -1,0 +1,29 @@
+"""NVMe command layer (paper §4).
+
+The paper implements TimeSSD on a Cosmos+ OpenSSD board speaking NVMe and
+"defines new NVMe commands to wrap the TimeKits API"; TimeKits runs atop
+the host NVMe driver.  This package reproduces that plumbing: command and
+completion structures, a controller that dispatches standard I/O opcodes
+plus the vendor-specific time-travel opcodes to the device, and a host
+driver exposing the same operations as friendly calls.
+"""
+
+from repro.nvme.commands import (
+    AdminOpcode,
+    NVMeCommand,
+    NVMeCompletion,
+    Opcode,
+    StatusCode,
+)
+from repro.nvme.controller import NVMeController
+from repro.nvme.driver import HostNVMeDriver
+
+__all__ = [
+    "Opcode",
+    "AdminOpcode",
+    "StatusCode",
+    "NVMeCommand",
+    "NVMeCompletion",
+    "NVMeController",
+    "HostNVMeDriver",
+]

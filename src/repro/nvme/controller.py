@@ -1,0 +1,273 @@
+"""The device-side NVMe command interpreter.
+
+The paper "slightly modif[ies] the NVMe command interpreter and add[s] a
+state query engine into the SSD firmware".  This controller is that
+interpreter: standard reads/writes/TRIM go to the FTL, vendor opcodes go
+to the state-query engine (TimeKits' device half).
+"""
+
+from dataclasses import dataclass
+
+from repro.common.errors import AddressError, RetentionViolationError
+from repro.flash.page import NULL_PPA
+from repro.nvme.commands import AdminOpcode, NVMeCommand, NVMeCompletion, Opcode, StatusCode
+from repro.timekits.api import TimeKits
+from repro.timessd.ssd import TimeSSD
+
+
+@dataclass
+class IdentifyData:
+    """Subset of the Identify Controller / Namespace data."""
+
+    model: str
+    logical_pages: int
+    page_size: int
+    retention_floor_us: int
+    time_travel: bool
+
+
+class NVMeController:
+    """Dispatches NVMe commands against an SSD.
+
+    Works with any :class:`~repro.ftl.ssd.BaseSSD`; the vendor opcodes
+    additionally require a :class:`TimeSSD` (a regular device completes
+    them with ``INVALID_OPCODE``, like real hardware would).
+    """
+
+    def __init__(self, ssd):
+        self.ssd = ssd
+        self._kits = TimeKits(ssd) if isinstance(ssd, TimeSSD) else None
+        self.commands_processed = 0
+
+    # --- Queues ---------------------------------------------------------------
+
+    def submit(self, command):
+        """Process one command synchronously; returns a completion."""
+        self.commands_processed += 1
+        start = self.ssd.clock.now_us
+        try:
+            if command.admin:
+                result = self._admin(command)
+            else:
+                result = self._io(command)
+        except AddressError:
+            return NVMeCompletion(StatusCode.LBA_OUT_OF_RANGE)
+        except RetentionViolationError:
+            return NVMeCompletion(StatusCode.RETENTION_PROTECTED)
+        except _InvalidOpcode:
+            return NVMeCompletion(StatusCode.INVALID_OPCODE)
+        except _InvalidField:
+            return NVMeCompletion(StatusCode.INVALID_FIELD)
+        return NVMeCompletion(
+            StatusCode.SUCCESS, result, latency_us=self.ssd.clock.now_us - start
+        )
+
+    def submit_batch(self, commands, queue_depth=8):
+        """Submit I/O commands at a queue depth > 1.
+
+        The synchronous :meth:`submit` models QD=1 hosts; real NVMe
+        keeps many commands in flight, and the device's channel/chip
+        parallelism is what turns that into IOPS.  Commands are applied
+        in submission order (so writes stay coherent) but their timing
+        overlaps: slot ``i % queue_depth`` issues its next command as
+        soon as its previous one completes.
+
+        Returns ``(completions, elapsed_us)``; only READ/WRITE/DSM are
+        accepted (vendor commands are host-serial by nature).
+        """
+        if queue_depth < 1:
+            raise _InvalidField()
+        ssd = self.ssd
+        arrival = ssd.clock.now_us
+        cursors = [arrival] * queue_depth
+        completions = []
+        for i, command in enumerate(commands):
+            self.commands_processed += 1
+            slot = i % queue_depth
+            start = cursors[slot]
+            try:
+                self._check_range(command)
+                cursors[slot] = self._batch_one(command, start)
+            except AddressError:
+                completions.append(NVMeCompletion(StatusCode.LBA_OUT_OF_RANGE))
+                continue
+            except RetentionViolationError:
+                completions.append(NVMeCompletion(StatusCode.RETENTION_PROTECTED))
+                continue
+            except _InvalidOpcode:
+                completions.append(NVMeCompletion(StatusCode.INVALID_OPCODE))
+                continue
+            completions.append(
+                NVMeCompletion(
+                    StatusCode.SUCCESS, None, latency_us=cursors[slot] - start
+                )
+            )
+        end = max(cursors)
+        ssd.clock.advance_to(end)
+        return completions, end - arrival
+
+    def _batch_one(self, command, start_us):
+        """Apply one batched command starting at ``start_us``; returns
+        its completion time."""
+        ssd = self.ssd
+        t = start_us
+        if command.opcode == Opcode.READ:
+            for i in range(command.nlb):
+                ppa = ssd.mapping.lookup(command.slba + i)
+                ssd.host_pages_read += 1
+                if ppa == NULL_PPA:
+                    continue
+                t = ssd.device.read_page(ppa, t).complete_us
+            return t
+        if command.opcode == Opcode.WRITE:
+            for i in range(command.nlb):
+                data = command.data[i] if command.data is not None else None
+                ssd._ensure_free_space(t)
+                t = ssd._program_user_page(command.slba + i, data, t)
+                ssd.host_pages_written += 1
+            return t
+        if command.opcode == Opcode.DSM:
+            for i in range(command.nlb):
+                old = ssd.mapping.invalidate(command.slba + i)
+                if old != NULL_PPA:
+                    ssd._on_invalidate(command.slba + i, old, t)
+            return t
+        raise _InvalidOpcode()
+
+    # --- Admin commands ---------------------------------------------------------
+
+    def _admin(self, command):
+        if command.opcode == AdminOpcode.IDENTIFY:
+            return IdentifyData(
+                model="TimeSSD" if self._kits else "RegularSSD",
+                logical_pages=self.ssd.logical_pages,
+                page_size=self.ssd.device.geometry.page_size,
+                retention_floor_us=getattr(
+                    self.ssd.config, "retention_floor_us", 0
+                ),
+                time_travel=self._kits is not None,
+            )
+        if command.opcode == AdminOpcode.GET_LOG_PAGE:
+            return {
+                "host_pages_written": self.ssd.host_pages_written,
+                "host_pages_read": self.ssd.host_pages_read,
+                "write_amplification": self.ssd.write_amplification,
+                "gc_runs": self.ssd.gc_runs,
+                "background_gc_runs": self.ssd.background_gc_runs,
+            }
+        raise _InvalidOpcode()
+
+    # --- I/O and vendor commands -------------------------------------------------
+
+    def _io(self, command):
+        handler = self._HANDLERS.get(command.opcode)
+        if handler is None:
+            raise _InvalidOpcode()
+        return handler(self, command)
+
+    def _check_range(self, command):
+        if command.nlb < 1:
+            raise _InvalidField()
+        if command.slba < 0 or command.slba + command.nlb > self.ssd.logical_pages:
+            raise AddressError("LBA range out of bounds")
+
+    def _require_kits(self):
+        if self._kits is None:
+            raise _InvalidOpcode()
+        return self._kits
+
+    def _op_read(self, command):
+        self._check_range(command)
+        data, _ = self.ssd.read_range(command.slba, command.nlb)
+        return data
+
+    def _op_write(self, command):
+        self._check_range(command)
+        self.ssd.write_range(command.slba, command.nlb, command.data)
+        return command.nlb
+
+    def _op_trim(self, command):
+        self._check_range(command)
+        for i in range(command.nlb):
+            self.ssd.trim(command.slba + i)
+        return command.nlb
+
+    def _op_flush(self, command):
+        return 0  # writes are durable on completion in this model
+
+    def _op_addr_query(self, command):
+        self._check_range(command)
+        return self._require_kits().addr_query(
+            command.slba, command.nlb, command.t, threads=command.threads
+        ).value
+
+    def _op_addr_query_range(self, command):
+        self._check_range(command)
+        if command.t > command.t2:
+            raise _InvalidField()
+        return self._require_kits().addr_query_range(
+            command.slba, command.nlb, command.t, command.t2, threads=command.threads
+        ).value
+
+    def _op_addr_query_all(self, command):
+        self._check_range(command)
+        return self._require_kits().addr_query_all(
+            command.slba, command.nlb, threads=command.threads
+        ).value
+
+    def _op_time_query(self, command):
+        return self._require_kits().time_query(command.t, threads=command.threads).value
+
+    def _op_time_query_range(self, command):
+        if command.t > command.t2:
+            raise _InvalidField()
+        return self._require_kits().time_query_range(
+            command.t, command.t2, threads=command.threads
+        ).value
+
+    def _op_time_query_all(self, command):
+        return self._require_kits().time_query_all(threads=command.threads).value
+
+    def _op_rollback(self, command):
+        self._check_range(command)
+        return self._require_kits().rollback(
+            command.slba, command.nlb, command.t, threads=command.threads
+        ).value
+
+    def _op_rollback_all(self, command):
+        return self._require_kits().rollback_all(command.t, threads=command.threads).value
+
+    def _op_retention_info(self, command):
+        kits = self._require_kits()
+        ssd = kits.ssd
+        return {
+            "retention_window_us": ssd.retention_window_us(),
+            "retention_floor_us": ssd.config.retention_floor_us,
+            "retained_pages": ssd.retained_pages,
+            "live_bloom_segments": len(ssd.blooms.live_segments()),
+            "delta_records": ssd.deltas.records_created,
+        }
+
+    _HANDLERS = {
+        Opcode.READ: _op_read,
+        Opcode.WRITE: _op_write,
+        Opcode.DSM: _op_trim,
+        Opcode.FLUSH: _op_flush,
+        Opcode.ADDR_QUERY: _op_addr_query,
+        Opcode.ADDR_QUERY_RANGE: _op_addr_query_range,
+        Opcode.ADDR_QUERY_ALL: _op_addr_query_all,
+        Opcode.TIME_QUERY: _op_time_query,
+        Opcode.TIME_QUERY_RANGE: _op_time_query_range,
+        Opcode.TIME_QUERY_ALL: _op_time_query_all,
+        Opcode.ROLLBACK: _op_rollback,
+        Opcode.ROLLBACK_ALL: _op_rollback_all,
+        Opcode.RETENTION_INFO: _op_retention_info,
+    }
+
+
+class _InvalidOpcode(Exception):
+    pass
+
+
+class _InvalidField(Exception):
+    pass

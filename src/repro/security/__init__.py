@@ -1,0 +1,27 @@
+"""Security substrates: ransomware models and the FlashGuard comparator.
+
+The paper's §5.5.1 recovers data encrypted by 13 live ransomware
+families and compares against FlashGuard (CCS'17).  The family models
+here reproduce each family's storage-level behaviour — how many files it
+encrypts, how fast, and whether it overwrites in place or deletes and
+rewrites — which is what recovery time depends on.
+"""
+
+from repro.security.flashguard import FlashGuardSSD
+from repro.security.ransomware import (
+    RANSOMWARE_FAMILIES,
+    AttackReport,
+    RansomwareAttack,
+    RansomwareProfile,
+)
+from repro.security.defense import RansomwareDefense, RecoveryReport
+
+__all__ = [
+    "RANSOMWARE_FAMILIES",
+    "RansomwareProfile",
+    "RansomwareAttack",
+    "AttackReport",
+    "FlashGuardSSD",
+    "RansomwareDefense",
+    "RecoveryReport",
+]

@@ -1,0 +1,156 @@
+"""Attacks aimed at TimeSSD itself (paper §3.1, §3.10).
+
+Beyond ordinary ransomware, the paper analyses adversaries who attack
+the *retention mechanism*:
+
+* **junk flooding** — intensively write/delete junk to force GC to
+  recycle the retained history.  Defense: within the retention floor
+  nothing can be recycled, so the device fills and stops serving I/O —
+  a loud, user-visible alarm instead of silent history loss;
+* **slow dribbling** — write junk slowly to stay under the radar.
+  Defense: a less write-intensive workload simply *lengthens* retention
+  ("the retention duration can increase to up to 56 days"), raising the
+  attacker's exposure window;
+* **rollback wiping** — use the recovery API itself: roll everything
+  back, then flood.  Defense: rollbacks are regular writes (the
+  pre-rollback state is retained too) and the flood hits the same floor
+  guarantee as above.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import RetentionViolationError
+from repro.timekits.api import TimeKits
+
+
+@dataclass
+class AttackOutcome:
+    """What the attacker achieved — and what the defender kept."""
+
+    attack: str
+    device_alarmed: bool
+    junk_pages_written: int
+    attack_duration_us: int
+    history_survived: bool
+
+
+def _history_intact(ssd, protected, t_clean):
+    """Every protected (lpa -> content) pair still retrievable as of
+    ``t_clean``?"""
+    kits = TimeKits(ssd)
+    for lpa, content in protected.items():
+        result = kits.addr_query(lpa, cnt=1, t=t_clean)
+        version = result.value.get(lpa)
+        if version is None or version.data != content:
+            return False
+    return True
+
+
+def _junk_pool(ssd, rng, variants=16):
+    """Pre-generated incompressible junk pages (attackers avoid
+    compressible content — it would only help the defender)."""
+    size = ssd.device.geometry.page_size
+    return [bytes(rng.randrange(256) for _ in range(size)) for _ in range(variants)]
+
+
+class JunkFloodAttack:
+    """Write junk as fast as the device accepts it."""
+
+    def __init__(self, ssd, seed=0, junk_gap_us=50):
+        self.ssd = ssd
+        self._rng = random.Random(seed)
+        self.junk_gap_us = junk_gap_us
+        self._junk = _junk_pool(ssd, self._rng)
+
+    def execute(self, protected, t_clean, max_pages=500_000):
+        """Flood until the device alarms (or ``max_pages``); returns
+        the outcome including whether ``protected`` history survived."""
+        ssd = self.ssd
+        start = ssd.clock.now_us
+        working = ssd.logical_pages
+        written = 0
+        alarmed = False
+        for i in range(max_pages):
+            lpa = self._rng.randrange(working)
+            try:
+                ssd.write(lpa, self._junk[i % len(self._junk)])
+            except RetentionViolationError:
+                alarmed = True
+                break
+            written += 1
+            ssd.clock.advance(self.junk_gap_us)
+        return AttackOutcome(
+            attack="junk-flood",
+            device_alarmed=alarmed,
+            junk_pages_written=written,
+            attack_duration_us=ssd.clock.now_us - start,
+            history_survived=_history_intact(ssd, protected, t_clean),
+        )
+
+
+class SlowDribbleAttack:
+    """Write junk slowly, hoping retention quietly erodes."""
+
+    def __init__(self, ssd, seed=0, junk_gap_us=30_000_000):
+        self.ssd = ssd
+        self._rng = random.Random(seed)
+        self.junk_gap_us = junk_gap_us
+        self._junk = _junk_pool(ssd, self._rng)
+
+    def execute(self, protected, t_clean, pages=2_000):
+        ssd = self.ssd
+        start = ssd.clock.now_us
+        written = 0
+        alarmed = False
+        for i in range(pages):
+            try:
+                ssd.write(
+                    self._rng.randrange(ssd.logical_pages),
+                    self._junk[i % len(self._junk)],
+                )
+            except RetentionViolationError:
+                alarmed = True
+                break
+            written += 1
+            ssd.clock.advance(self.junk_gap_us)
+        return AttackOutcome(
+            attack="slow-dribble",
+            device_alarmed=alarmed,
+            junk_pages_written=written,
+            attack_duration_us=ssd.clock.now_us - start,
+            history_survived=_history_intact(ssd, protected, t_clean),
+        )
+
+
+class RollbackWipeAttack:
+    """Abuse the recovery API: roll back everything, then flood."""
+
+    def __init__(self, ssd, seed=0):
+        self.ssd = ssd
+        self._rng = random.Random(seed)
+
+    def execute(self, protected, t_clean, flood_pages=200_000):
+        ssd = self.ssd
+        kits = TimeKits(ssd)
+        start = ssd.clock.now_us
+        alarmed = False
+        written = 0
+        try:
+            # Step 1: revert the whole device to its earliest state.
+            kits.rollback_all(t=0)
+        except RetentionViolationError:
+            alarmed = True
+        if not alarmed:
+            # Step 2: flood with junk to push the real history out.
+            flood = JunkFloodAttack(ssd, seed=self._rng.randrange(1 << 16))
+            flood_outcome = flood.execute(protected, t_clean, max_pages=flood_pages)
+            alarmed = flood_outcome.device_alarmed
+            written = flood_outcome.junk_pages_written
+        return AttackOutcome(
+            attack="rollback-wipe",
+            device_alarmed=alarmed,
+            junk_pages_written=written,
+            attack_duration_us=ssd.clock.now_us - start,
+            history_survived=_history_intact(ssd, protected, t_clean),
+        )

@@ -1,0 +1,120 @@
+"""Encryption-ransomware family models (paper Figure 10).
+
+Each profile captures the storage-visible behaviour of one family as
+reported in the malware-analysis literature the paper builds on
+(FlashGuard, CCS'17): attack speed, victim coverage, and modus operandi
+— ``overwrite`` families read a file and encrypt it in place;
+``delete_rewrite`` families write an encrypted copy and delete the
+original.  Both leave the plaintext recoverable inside TimeSSD.
+"""
+
+import random
+from dataclasses import dataclass, field
+
+from repro.common.units import MINUTE_US, SECOND_US
+from repro.workloads.content import ContentFactory
+
+
+@dataclass(frozen=True)
+class RansomwareProfile:
+    """Storage-level fingerprint of one ransomware family."""
+
+    name: str
+    #: Files encrypted per minute (attack speed).
+    files_per_minute: float
+    #: Fraction of user files the family encrypts before revealing itself.
+    target_fraction: float
+    #: "overwrite" (read-encrypt-overwrite) or "delete_rewrite".
+    pattern: str = "overwrite"
+
+    def __post_init__(self):
+        if self.pattern not in ("overwrite", "delete_rewrite"):
+            raise ValueError("unknown attack pattern %r" % self.pattern)
+
+
+# Speeds/coverage approximate published analyses; the relative spread is
+# what matters for the Figure 10 shape (recovery time tracks the volume
+# of data each family encrypted).
+RANSOMWARE_FAMILIES = {
+    "Petya": RansomwareProfile("Petya", files_per_minute=400, target_fraction=0.95),
+    "CTB-Locker": RansomwareProfile("CTB-Locker", 220, 0.80),
+    "JigSaw": RansomwareProfile("JigSaw", 60, 0.40),
+    "Maktub": RansomwareProfile("Maktub", 150, 0.70),
+    "Mobef": RansomwareProfile("Mobef", 90, 0.50),
+    "CryptoWall": RansomwareProfile("CryptoWall", 200, 0.85, "delete_rewrite"),
+    "Locky": RansomwareProfile("Locky", 260, 0.90, "delete_rewrite"),
+    "7ev3n": RansomwareProfile("7ev3n", 80, 0.45),
+    "Stampado": RansomwareProfile("Stampado", 50, 0.35),
+    "TeslaCrypt": RansomwareProfile("TeslaCrypt", 180, 0.75),
+    "HydraCrypt": RansomwareProfile("HydraCrypt", 120, 0.60),
+    "CryptoFortress": RansomwareProfile("CryptoFortress", 100, 0.55),
+    "Cerber": RansomwareProfile("Cerber", 240, 0.85, "delete_rewrite"),
+}
+
+
+@dataclass
+class AttackReport:
+    """What the attack did — the defender's recovery work list."""
+
+    family: str
+    started_us: int
+    finished_us: int
+    encrypted_files: list = field(default_factory=list)
+    #: name -> LPAs holding the file at attack time (for overwrite
+    #: families these are the live extents; for delete_rewrite families
+    #: the original extents that were trimmed).
+    victim_extents: dict = field(default_factory=dict)
+
+    @property
+    def duration_us(self):
+        return self.finished_us - self.started_us
+
+
+class RansomwareAttack:
+    """Executes a family profile against a file system."""
+
+    def __init__(self, fs, profile, seed=0):
+        self.fs = fs
+        self.profile = profile
+        self._rng = random.Random(seed)
+        self._content = ContentFactory(fs.page_size, self._rng)
+
+    def _encrypted_page(self):
+        # Ciphertext is incompressible random data.
+        return self._content.incompressible()
+
+    def execute(self):
+        """Encrypt the targeted fraction of files; returns AttackReport."""
+        fs = self.fs
+        profile = self.profile
+        files = [f for f in fs.list_files() if not f.startswith(".")]
+        self._rng.shuffle(files)
+        count = max(1, int(len(files) * profile.target_fraction))
+        victims = files[:count]
+        gap_us = int(MINUTE_US / profile.files_per_minute)
+        report = AttackReport(
+            family=profile.name,
+            started_us=fs.ssd.clock.now_us,
+            finished_us=fs.ssd.clock.now_us,
+        )
+        for name in victims:
+            npages = max(1, (fs.file_size(name) + fs.page_size - 1) // fs.page_size)
+            report.victim_extents[name] = list(fs.file_lpas(name))
+            if profile.pattern == "overwrite":
+                # Read (the tell-tale ransomware signature), then encrypt
+                # in place.
+                fs.read(name, 0, fs.file_size(name))
+                for page in range(npages):
+                    fs.write_pages(name, page, 1, [self._encrypted_page()])
+            else:
+                # Write an encrypted copy, delete the original.
+                fs.read(name, 0, fs.file_size(name))
+                copy = name + ".locked"
+                fs.create(copy)
+                for page in range(npages):
+                    fs.write_pages(copy, page, 1, [self._encrypted_page()])
+                fs.delete(name)
+            report.encrypted_files.append(name)
+            fs.ssd.clock.advance(gap_us)
+        report.finished_us = fs.ssd.clock.now_us
+        return report

@@ -1,0 +1,231 @@
+"""The TimeKits query/rollback API (paper Table 1).
+
+Semantics notes:
+
+* ``t`` arguments are absolute simulated times (microseconds).  The
+  paper phrases them as "some time ago"; callers can compute
+  ``ssd.clock.now_us - ago``.
+* ``addr_query(addr, cnt, t)`` returns, per LPA, the version that was
+  current at time ``t`` — the newest retained version written at or
+  before ``t`` (the natural recovery target).  When every retained
+  version is newer than ``t`` the oldest retained version is returned,
+  which is the best the device can do once the window has moved.
+* Multi-LPA queries accept ``threads``: the paper's Figure 11 shows
+  recovery speeding up with threads because independent chains ride
+  different flash channels.  Each simulated thread walks its share of
+  LPAs serially; channel contention is resolved by the device model.
+
+Every method returns a :class:`QueryResult` carrying both the answer and
+the simulated elapsed time, which is what the evaluation (Table 3,
+Figures 10-11) reports.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import QueryError
+from repro.timessd.ssd import TimeSSD
+
+
+@dataclass
+class QueryResult:
+    """Answer plus simulated execution time of one TimeKits call."""
+
+    value: object
+    elapsed_us: int
+    pages_touched: int = 0
+
+
+def _pick_as_of(versions, t):
+    """Newest version written at or before ``t`` (versions newest-first)."""
+    for version in versions:
+        if version.timestamp_us <= t:
+            return version
+    return versions[-1] if versions else None
+
+
+def _already_current(ssd, lpa, versions, target):
+    """True when ``target`` is the version the device would read now.
+
+    A trimmed LPA has retained versions but no current one, so the
+    newest chain entry is *not* current and a restore write is needed.
+    """
+    if not versions or not ssd.mapping.is_mapped(lpa):
+        return False
+    return target.timestamp_us == versions[0].timestamp_us
+
+
+class TimeKits:
+    """Host-side toolkit wrapping the TimeSSD state-query engine."""
+
+    def __init__(self, ssd):
+        if not isinstance(ssd, TimeSSD):
+            raise QueryError("TimeKits requires a TimeSSD device")
+        self.ssd = ssd
+        self._last_pages_touched = 0
+
+    # --- Internal fan-out ------------------------------------------------------
+
+    def _walk_many(self, lpas, threads=1, until_ts=None):
+        """Walk version chains of many LPAs with simulated threads.
+
+        Returns ``(chains, elapsed_us)`` where ``chains`` maps LPA to its
+        newest-first version list.  Thread ``k`` processes every
+        ``threads``-th LPA; within a thread reads are dependent (serial),
+        across threads they overlap subject to channel availability —
+        exactly the parallelism the paper exploits.  ``until_ts`` enables
+        the AddrQuery early stop (walk ends at the first version written
+        at or before it).
+        """
+        if threads < 1:
+            raise QueryError("threads must be >= 1")
+        start = self.ssd.clock.now_us
+        reads_before = self.ssd.device.counters.page_reads
+        cursors = [start] * threads
+        chains = {}
+        for i, lpa in enumerate(lpas):
+            k = i % threads
+            versions, complete = self.ssd.version_chain(
+                lpa, cursors[k], until_ts=until_ts
+            )
+            cursors[k] = complete
+            chains[lpa] = versions
+        end = max(cursors) if cursors else start
+        self.ssd.clock.advance_to(end)
+        self._last_pages_touched = (
+            self.ssd.device.counters.page_reads - reads_before
+        )
+        return chains, end - start
+
+    def _restore_many(self, pairs, threads=1):
+        """Write ``(lpa, data)`` pairs back with simulated threads.
+
+        Rollback writes are regular writes (the pre-rollback state stays
+        retained), issued concurrently by the recovery threads so the
+        write-back phase overlaps across channels like the walk phase.
+        """
+        ssd = self.ssd
+        start = ssd.clock.now_us
+        cursors = [start] * max(1, threads)
+        for i, (lpa, data) in enumerate(pairs):
+            k = i % len(cursors)
+            ssd._ensure_free_space(cursors[k])
+            complete = ssd._program_user_page(lpa, data, cursors[k])
+            ssd.host_pages_written += 1
+            cursors[k] = complete
+        ssd.clock.advance_to(max(cursors))
+        return ssd.clock.now_us - start
+
+    def _range(self, addr, cnt):
+        if cnt < 1:
+            raise QueryError("cnt must be >= 1")
+        if addr < 0 or addr + cnt > self.ssd.logical_pages:
+            raise QueryError(
+                "LPA range [%d, %d) outside device" % (addr, addr + cnt)
+            )
+        return range(addr, addr + cnt)
+
+    # --- Address-based state queries (Table 1, rows 1-3) ----------------------
+
+    def addr_query(self, addr, cnt=1, t=0, threads=1):
+        """State of each LPA as of time ``t`` (one version per LPA)."""
+        chains, elapsed = self._walk_many(self._range(addr, cnt), threads, until_ts=t)
+        picked = {
+            lpa: _pick_as_of(versions, t)
+            for lpa, versions in chains.items()
+        }
+        return QueryResult(picked, elapsed, self._last_pages_touched)
+
+    def addr_query_range(self, addr, cnt, t1, t2, threads=1):
+        """All versions written within ``[t1, t2]`` for each LPA."""
+        if t1 > t2:
+            raise QueryError("t1 must not exceed t2")
+        chains, elapsed = self._walk_many(
+            self._range(addr, cnt), threads, until_ts=t1
+        )
+        out = {
+            lpa: [v for v in versions if t1 <= v.timestamp_us <= t2]
+            for lpa, versions in chains.items()
+        }
+        return QueryResult(out, elapsed, self._last_pages_touched)
+
+    def addr_query_all(self, addr, cnt=1, threads=1):
+        """Every retained version of each LPA in the retention window."""
+        chains, elapsed = self._walk_many(self._range(addr, cnt), threads)
+        return QueryResult(chains, elapsed, self._last_pages_touched)
+
+    # --- Time-based state queries (Table 1, rows 4-6) ---------------------------
+
+    def _time_filtered(self, predicate, threads):
+        """Scan all mapped LPAs, keeping write timestamps that match."""
+        lpas = list(self.ssd.mapping.mapped_lpas())
+        chains, elapsed = self._walk_many(lpas, threads)
+        out = {}
+        for lpa, versions in chains.items():
+            stamps = [v.timestamp_us for v in versions if predicate(v.timestamp_us)]
+            if stamps:
+                out[lpa] = sorted(stamps)
+        return QueryResult(out, elapsed, self._last_pages_touched)
+
+    def time_query(self, t, threads=1):
+        """All LPAs updated since ``t``, with their write timestamps."""
+        return self._time_filtered(lambda ts: ts >= t, threads)
+
+    def time_query_range(self, t1, t2, threads=1):
+        """All LPAs updated within ``[t1, t2]``, with timestamps."""
+        if t1 > t2:
+            raise QueryError("t1 must not exceed t2")
+        return self._time_filtered(lambda ts: t1 <= ts <= t2, threads)
+
+    def time_query_all(self, threads=1):
+        """All LPAs updated within the entire retention window."""
+        return self._time_filtered(lambda ts: True, threads)
+
+    # --- State rollbacks (Table 1, rows 7-8) ------------------------------------
+
+    def rollback(self, addr, cnt=1, t=0, threads=1):
+        """Revert LPAs to their state as of ``t``.
+
+        A rollback is a regular write of the old version's content
+        (paper §3.9): the pre-rollback state is itself retained, so a
+        rollback can be rolled back.  Returns per-LPA restored versions.
+        """
+        start = self.ssd.clock.now_us
+        chains, _elapsed = self._walk_many(
+            self._range(addr, cnt), threads, until_ts=t
+        )
+        restored = {}
+        writes = []
+        for lpa, versions in chains.items():
+            target = _pick_as_of(versions, t)
+            if target is None:
+                continue
+            restored[lpa] = target
+            if _already_current(self.ssd, lpa, versions, target):
+                continue
+            writes.append((lpa, target.data))
+        self._restore_many(writes, threads)
+        elapsed = self.ssd.clock.now_us - start
+        return QueryResult(restored, elapsed)
+
+    def rollback_all(self, t, threads=1):
+        """Revert every valid LPA to its state as of ``t``.
+
+        The paper warns this is aggressive: it writes back a large volume
+        of data, shortening retention, and can trip the retention-floor
+        alarm.  The caller sees that as :class:`RetentionViolationError`.
+        """
+        start = self.ssd.clock.now_us
+        lpas = list(self.ssd.mapping.mapped_lpas())
+        chains, _elapsed = self._walk_many(lpas, threads, until_ts=t)
+        restored = {}
+        writes = []
+        for lpa, versions in chains.items():
+            target = _pick_as_of(versions, t)
+            if target is None:
+                continue
+            restored[lpa] = target
+            if _already_current(self.ssd, lpa, versions, target):
+                continue
+            writes.append((lpa, target.data))
+        self._restore_many(writes, threads)
+        return QueryResult(restored, self.ssd.clock.now_us - start)

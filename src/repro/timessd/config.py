@@ -1,0 +1,82 @@
+"""Configuration for TimeSSD."""
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.units import DAY_US, HOUR_US, MS_US
+from repro.ftl.ssd import SSDConfig
+
+
+class ContentMode(enum.Enum):
+    """How page content (and thus delta compressibility) is represented.
+
+    ``REAL``: hosts write actual ``bytes``; deltas are XOR-then-LZF over
+    real content (file-system benchmarks use this).
+
+    ``MODELED``: hosts write identity tokens; delta sizes are drawn from a
+    Gaussian compression-ratio model.  This is the paper's own method for
+    the MSR/FIU traces, which carry no data content (§5.2: "we use 0.2 as
+    the default compression ratio").
+    """
+
+    REAL = "real"
+    MODELED = "modeled"
+
+
+@dataclass
+class TimeSSDConfig(SSDConfig):
+    """TimeSSD knobs, defaulting to the paper's published choices."""
+
+    # §3.4: guaranteed lower bound on retention duration (3 days).
+    retention_floor_us: int = 3 * DAY_US
+    # §3.5: invalidation-tracking group size N (16) and BF sizing.
+    bloom_group_size: int = 16
+    bloom_capacity: int = 4096
+    bloom_fp_rate: float = 0.01
+    # Segments also seal after this long, keeping the adaptive window's
+    # shrink granularity bounded even when grouping dedupes most adds.
+    bloom_segment_max_age_us: int = 6 * HOUR_US
+    # §3.8 / Equation 1: GC-overhead threshold TH (20% of a page-write
+    # cost) estimated over periods of N_fixed user page writes.
+    gc_overhead_threshold: float = 0.20
+    gc_overhead_period_writes: int = 1024
+    # §3.6: idle-time prediction (exponential smoothing, alpha = 0.5;
+    # compress in background when predicted idle exceeds 10 ms).
+    idle_alpha: float = 0.5
+    idle_threshold_us: int = 10 * MS_US
+    background_compression: bool = True
+    # §3.6: delta compression of retained versions.
+    delta_compression: bool = True
+    content_mode: ContentMode = ContentMode.MODELED
+    # Modeled compressibility: Gaussian ratio, as characterized in the
+    # I-CASH study the paper cites (mean 0.05-0.25 across applications).
+    modeled_ratio_mean: float = 0.20
+    modeled_ratio_sd: float = 0.05
+    # Delta page layout: per-page header plus per-delta metadata bytes.
+    delta_page_header_bytes: int = 16
+    delta_metadata_bytes: int = 24
+    # Background compression victim scan: blocks examined per idle window.
+    idle_scan_blocks: int = 4
+    # §3.10: optional user key; when set, retained versions are stored
+    # encrypted and queries require unlocking with the key.
+    retention_key: bytes = None
+    seed: int = 0x5EED
+
+    def __post_init__(self):
+        super().__post_init__()
+        # TimeSSD needs more GC headroom than a regular SSD: one reclaim
+        # can open several append blocks (striped GC stream plus
+        # per-segment delta streams) before it erases the victim.
+        self.gc_low_watermark = max(
+            self.gc_low_watermark,
+            self.geometry.channels + 4,
+            self.geometry.total_blocks // 64,
+        )
+        if self.retention_floor_us < 0:
+            raise ValueError("retention_floor_us must be non-negative")
+        if not 0 < self.gc_overhead_threshold:
+            raise ValueError("gc_overhead_threshold must be positive")
+        if not 0 < self.idle_alpha <= 1:
+            raise ValueError("idle_alpha must be in (0, 1]")
+        if not 0 < self.modeled_ratio_mean < 1:
+            raise ValueError("modeled_ratio_mean must be in (0, 1)")

@@ -1,0 +1,282 @@
+"""Delta compression of obsolete data versions (paper §3.6).
+
+When an invalid-but-retained page must move (its block is GC'd) TimeSSD
+does not migrate it whole: it stores a compressed *delta* against the
+latest version of the same LPA.  Deltas are grouped into page-sized delta
+pages, which live in delta blocks dedicated to one bloom-filter time
+segment, so an expired segment's delta blocks can be erased wholesale.
+
+Two codecs:
+
+* :class:`RealDeltaCodec` — XOR against the reference then LZF, for
+  experiments that write real content;
+* :class:`ModeledDeltaCodec` — Gaussian compression-ratio model, the
+  paper's own method for content-less traces (§5.2).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import DeviceFullError, ReproError
+from repro.flash.page import OOBMetadata
+from repro.ftl.block_manager import BlockKind
+from repro.timessd import lzf
+
+
+@dataclass
+class DeltaRecord:
+    """One compressed obsolete version plus its chain metadata (§3.7).
+
+    The reverse delta chain is kept as object references (``back``): the
+    paper stores a back-pointer PPA inside the delta page, and the model
+    charges a flash-page read whenever a chain hop crosses into a flushed
+    (``flash_ppa`` set) delta page.
+    """
+
+    lpa: int
+    version_ts: int
+    ref_ts: int
+    payload: object
+    size_bytes: int
+    segment_id: int
+    back: "DeltaRecord" = None
+    flash_ppa: int = None
+    dropped: bool = False
+    #: False when stored uncompressed (delta-compression ablation mode).
+    compressed: bool = True
+
+    def __repr__(self):
+        where = "ram" if self.flash_ppa is None else "ppa=%d" % self.flash_ppa
+        return "DeltaRecord(lpa=%d, ts=%d, %dB, %s)" % (
+            self.lpa,
+            self.version_ts,
+            self.size_bytes,
+            where,
+        )
+
+
+class DeltaCodec:
+    """Interface: compress an old version against a reference version."""
+
+    def compress(self, old_data, ref_data):
+        """Return ``(payload, size_bytes)``."""
+        raise NotImplementedError
+
+    def decompress(self, payload, ref_data):
+        """Return the original old version's data."""
+        raise NotImplementedError
+
+
+class RealDeltaCodec(DeltaCodec):
+    """XOR-with-reference then LZF over real page contents.
+
+    Content locality makes the XOR mostly zeros, which LZF's back-
+    references collapse.  When no reference exists (the LPA was trimmed)
+    the old page is LZF'd directly; when compression does not pay, the
+    raw page is stored (mode ``raw``), mirroring real firmware.
+    """
+
+    def __init__(self, page_size):
+        self.page_size = page_size
+
+    def _check(self, name, data):
+        if not isinstance(data, (bytes, bytearray)):
+            raise ReproError("%s must be bytes in REAL content mode" % name)
+        if len(data) != self.page_size:
+            raise ReproError(
+                "%s must be exactly one page (%d bytes), got %d"
+                % (name, self.page_size, len(data))
+            )
+
+    def compress(self, old_data, ref_data):
+        self._check("old_data", old_data)
+        if ref_data is not None:
+            self._check("ref_data", ref_data)
+            diff = bytes(a ^ b for a, b in zip(old_data, ref_data))
+            blob = lzf.compress(diff)
+            mode = "xor"
+        else:
+            blob = lzf.compress(old_data)
+            mode = "lzf"
+        if len(blob) >= self.page_size:
+            return ("raw", bytes(old_data)), self.page_size
+        return (mode, blob), len(blob)
+
+    def decompress(self, payload, ref_data):
+        mode, blob = payload
+        if mode == "raw":
+            return blob
+        if mode == "lzf":
+            return lzf.decompress(blob, self.page_size)
+        if mode == "xor":
+            if ref_data is None:
+                raise ReproError("xor delta needs its reference version")
+            diff = lzf.decompress(blob, self.page_size)
+            return bytes(a ^ b for a, b in zip(diff, ref_data))
+        raise ReproError("unknown delta payload mode %r" % (mode,))
+
+
+class ModeledDeltaCodec(DeltaCodec):
+    """Synthetic compressibility for content-less trace replays.
+
+    Delta sizes follow a clipped Gaussian ratio of the page size; the
+    payload is the old version's token, returned verbatim on decompress
+    so version identity survives the round trip.
+    """
+
+    def __init__(self, page_size, ratio_mean=0.20, ratio_sd=0.05, rng=None):
+        if rng is None:
+            raise ReproError("ModeledDeltaCodec needs an explicit rng")
+        self.page_size = page_size
+        self.ratio_mean = ratio_mean
+        self.ratio_sd = ratio_sd
+        self._rng = rng
+
+    def compress(self, old_data, ref_data):
+        ratio = self._rng.gauss(self.ratio_mean, self.ratio_sd)
+        ratio = min(0.95, max(0.02, ratio))
+        return old_data, max(1, int(self.page_size * ratio))
+
+    def decompress(self, payload, ref_data):
+        return payload
+
+
+class DeltaPage:
+    """The object programmed into a delta-page flash write.
+
+    Models the paper's delta page: a header (delta count and byte
+    offsets) followed by the packed deltas with their metadata.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self, records):
+        self.records = list(records)
+
+    def __repr__(self):
+        return "DeltaPage(%d deltas)" % len(self.records)
+
+
+@dataclass
+class _SegmentDeltas:
+    """RAM-side delta state of one bloom segment."""
+
+    buffer: list = field(default_factory=list)
+    buffered_bytes: int = 0
+    blocks: set = field(default_factory=set)
+    records: int = 0
+
+
+class DeltaManager:
+    """Per-segment delta buffers, delta-page packing, and delta blocks."""
+
+    def __init__(self, ssd, codec, page_size, header_bytes, metadata_bytes):
+        self._ssd = ssd
+        self.codec = codec
+        self._page_size = page_size
+        self._header_bytes = header_bytes
+        self._metadata_bytes = metadata_bytes
+        self._segments = {}
+        self.flushed_pages = 0
+        self.deferred_flushes = 0
+        self.records_created = 0
+
+    def _segment_state(self, segment_id):
+        state = self._segments.get(segment_id)
+        if state is None:
+            state = _SegmentDeltas()
+            self._segments[segment_id] = state
+        return state
+
+    def _record_footprint(self, record):
+        return record.size_bytes + self._metadata_bytes
+
+    def usable_page_bytes(self):
+        return self._page_size - self._header_bytes
+
+    def add_record(self, record, now_us):
+        """Buffer a new delta; flush a delta page when the buffer fills.
+
+        Returns the flash program completion time if a flush happened,
+        else ``now_us``.
+        """
+        state = self._segment_state(record.segment_id)
+        footprint = self._record_footprint(record)
+        usable = self.usable_page_bytes()
+        complete = now_us
+        if state.buffer and state.buffered_bytes + footprint > usable:
+            complete = self.flush_segment(record.segment_id, now_us)
+        state.buffer.append(record)
+        state.buffered_bytes += min(footprint, usable)
+        state.records += 1
+        self.records_created += 1
+        return complete
+
+    def flush_segment(self, segment_id, now_us):
+        """Write the segment's buffered deltas as one delta page.
+
+        When the free pool is momentarily empty (GC mid-flight can touch
+        many segments at once) the flush is deferred: the records stay in
+        the RAM buffer — still retained and queryable — and the next
+        ``add_record`` retries.  Real firmware holds them in the reserved
+        controller RAM the same way.
+        """
+        state = self._segment_state(segment_id)
+        if not state.buffer:
+            return now_us
+        bm = self._ssd.block_manager
+        try:
+            ppa = bm.allocate_page_keyed(("delta", segment_id), BlockKind.DELTA)
+        except DeviceFullError:
+            self.deferred_flushes += 1
+            return now_us
+        page = DeltaPage(state.buffer)
+        oob = OOBMetadata(
+            lpa=OOBMetadata.DELTA_TAG, back_pointer=-1, timestamp_us=now_us
+        )
+        complete = self._ssd.device.program_page(ppa, page, oob, now_us)
+        for record in state.buffer:
+            record.flash_ppa = ppa
+        state.blocks.add(self._ssd.device.geometry.block_of_page(ppa))
+        state.buffer = []
+        state.buffered_bytes = 0
+        self.flushed_pages += 1
+        return complete
+
+    def ram_bytes(self):
+        return sum(s.buffered_bytes for s in self._segments.values())
+
+    def segment_blocks(self, segment_id):
+        state = self._segments.get(segment_id)
+        return set(state.blocks) if state else set()
+
+    def drop_segment(self, segment_id, now_us):
+        """Destroy a segment's deltas: erase its delta blocks immediately.
+
+        The paper erases an expired segment's delta blocks with no
+        migration — they contain only expired versions by construction.
+        Returns the number of blocks erased.
+        """
+        state = self._segments.pop(segment_id, None)
+        if state is None:
+            return 0
+        for record in state.buffer:
+            record.dropped = True
+        bm = self._ssd.block_manager
+        bm.close_stream(("delta", segment_id))
+        erased = 0
+        for pba in state.blocks:
+            self._mark_block_records_dropped(pba)
+            self._ssd.erase_delta_block(pba, now_us)
+            erased += 1
+        return erased
+
+    def _mark_block_records_dropped(self, pba):
+        device = self._ssd.device
+        for ppa in device.geometry.pages_of_block(pba):
+            page = device.peek_page(ppa)
+            if page.data is not None and isinstance(page.data, DeltaPage):
+                for record in page.data.records:
+                    record.dropped = True
+
+    def live_segment_ids(self):
+        return set(self._segments)

@@ -1,0 +1,198 @@
+"""TimeSSD garbage collection — the paper's Algorithm 1 (§3.8).
+
+Differences from regular GC:
+
+* expired delta blocks are reclaimed first (erase only, no migration) —
+  in this model that happens eagerly when a bloom segment is dropped;
+* invalid pages are *not* reclaimed blindly: a page marked reclaimable in
+  the PRT (already compressed, or known expired) is discarded; a page
+  missing every bloom filter is expired and discarded; anything else is
+  retained — it is delta-compressed together with the not-yet-compressed
+  older versions reachable through its back-pointer chain, the deltas are
+  appended to the head of the LPA's delta chain, and the source pages are
+  marked reclaimable.
+
+The same reclamation routine serves wear-leveling relocations, as §3.8
+prescribes.
+"""
+
+from dataclasses import dataclass
+
+from repro.flash.page import NULL_PPA, PageState
+from repro.ftl.block_manager import BlockKind, StreamId
+from repro.timessd.delta import DeltaRecord
+
+
+@dataclass
+class ReclaimOutcome:
+    """What one block reclamation did (for tests and ablation benches)."""
+
+    victim_pba: int
+    migrated_valid: int = 0
+    discarded_reclaimable: int = 0
+    discarded_expired: int = 0
+    compressed: int = 0
+    complete_us: int = 0
+
+
+class TimeSSDGarbageCollector:
+    """Block reclamation with version retention."""
+
+    def __init__(self, ssd):
+        self._ssd = ssd
+        self.blocks_reclaimed = 0
+        self.versions_compressed = 0
+
+    # --- Block reclamation (Algorithm 1, lines 5-26) --------------------------
+
+    def reclaim_block(self, victim_pba, now_us):
+        """Reclaim one data block; returns a :class:`ReclaimOutcome`."""
+        ssd = self._ssd
+        geo = ssd.device.geometry
+        bm = ssd.block_manager
+        index = ssd.index
+        outcome = ReclaimOutcome(victim_pba)
+        t = now_us
+        for ppa in geo.pages_of_block(victim_pba):
+            page = ssd.device.peek_page(ppa)
+            if page.state is not PageState.PROGRAMMED:
+                continue
+            if bm.is_valid(ppa):
+                t = self._migrate_valid_page(ppa, t)
+                outcome.migrated_valid += 1
+            elif index.is_reclaimable(ppa):
+                outcome.discarded_reclaimable += 1
+            elif ssd.blooms.find_segment(ppa) is None:
+                # Expired: invalidated before the retention window opened.
+                outcome.discarded_expired += 1
+                ssd.note_page_no_longer_retained(ppa)
+            else:
+                t, compressed = self.compress_version_chain(ppa, t)
+                outcome.compressed += compressed
+        t = ssd.device.erase_block(victim_pba, t)
+        index.clear_block(victim_pba)
+        ssd.forget_block_retention(victim_pba)
+        bm.release_block(victim_pba)
+        ssd.wear_leveler.on_erase(t)
+        self.blocks_reclaimed += 1
+        outcome.complete_us = t
+        return outcome
+
+    def _migrate_valid_page(self, ppa, now_us):
+        ssd = self._ssd
+        result = ssd.device.read_page(ppa, now_us)
+        new_ppa = ssd.block_manager.allocate_page(StreamId.GC)
+        t = ssd.device.program_page(new_ppa, result.data, result.oob, result.complete_us)
+        ssd.block_manager.mark_valid(new_ppa)
+        ssd.block_manager.invalidate_page(ppa)
+        ssd._remap_migrated_page(result.oob, ppa, new_ppa)
+        return t
+
+    # --- Retained-version compression (Algorithm 1, lines 19-25) --------------
+
+    def compress_version_chain(self, ppa, now_us):
+        """Compress the retained page at ``ppa`` plus its older chain.
+
+        Returns ``(complete_us, versions_compressed)``.  Also used by the
+        background (idle-time) compressor, which is why it never erases
+        anything — it only converts data-page versions into deltas and
+        marks the sources reclaimable in the PRT.
+        """
+        ssd = self._ssd
+        device = ssd.device
+        index = ssd.index
+        t = now_us
+
+        head = device.read_page(ppa, t)
+        t = head.complete_us
+        lpa = head.oob.lpa
+
+        chain = [(ppa, head.oob, head.data)]
+        t = self._collect_older_versions(lpa, head.oob, chain, t)
+
+        compressing = ssd.config.delta_compression
+        if compressing:
+            ref_data, ref_ts, t = self._read_reference(lpa, t)
+        else:
+            ref_data, ref_ts = None, NULL_PPA
+
+        previous_head = index.prune_dropped_head(lpa)
+        records = []
+        for src_ppa, oob, data in chain:
+            if compressing:
+                payload, size = ssd.deltas.codec.compress(data, ref_data)
+                device.counters.delta_compressions += 1
+                t = device.timelines.schedule(
+                    device.geometry.channel_of_page(src_ppa),
+                    t,
+                    device.timing.delta_compress_us,
+                )
+            else:
+                # Ablation mode: retained versions move uncompressed.
+                payload, size = data, device.geometry.page_size
+            payload = ssd.seal_retained_payload(payload, lpa, oob.timestamp_us)
+            segment = ssd.blooms.find_segment(src_ppa)
+            if segment is None:
+                # BF false negative cannot happen; this is the rare case of
+                # a chain page racing expiration mid-walk.  Retain it with
+                # the newest segment so no version silently disappears.
+                segment = ssd.blooms.live_segments()[-1]
+            records.append(
+                DeltaRecord(
+                    lpa=lpa,
+                    version_ts=oob.timestamp_us,
+                    ref_ts=ref_ts,
+                    payload=payload,
+                    size_bytes=size,
+                    segment_id=segment.segment_id,
+                    compressed=compressing,
+                )
+            )
+        # Newest-first linking; the oldest new record continues into the
+        # pre-existing delta chain.
+        for newer, older in zip(records, records[1:]):
+            newer.back = older
+        records[-1].back = previous_head
+        index.set_delta_head(lpa, records[0])
+        for record in records:
+            t = ssd.deltas.add_record(record, t)
+        for src_ppa, _oob, _data in chain:
+            if index.mark_reclaimable(src_ppa):
+                ssd.note_page_no_longer_retained(src_ppa)
+        self.versions_compressed += len(records)
+        return t, len(records)
+
+    def _collect_older_versions(self, lpa, head_oob, chain, now_us):
+        """Walk the back-pointer chain below the page being compressed.
+
+        Unexpired, not-yet-compressed versions join ``chain``; expired
+        ones are marked reclaimable and end the walk (invalidation times
+        decrease down the chain, so everything older is expired too).
+        """
+        ssd = self._ssd
+        index = ssd.index
+        t = now_us
+        prev_ts = head_oob.timestamp_us
+        back = head_oob.back_pointer
+        while back != NULL_PPA and index._page_holds_version(back, lpa, prev_ts):
+            if index.is_reclaimable(back):
+                break  # older suffix already lives in the delta chain
+            result = ssd.device.read_page(back, t)
+            t = result.complete_us
+            if ssd.blooms.find_segment(back) is None:
+                if index.mark_reclaimable(back):
+                    ssd.note_page_no_longer_retained(back)
+                break
+            chain.append((back, result.oob, result.data))
+            prev_ts = result.oob.timestamp_us
+            back = result.oob.back_pointer
+        return t
+
+    def _read_reference(self, lpa, now_us):
+        """Read the latest (valid) version as the compression reference."""
+        ssd = self._ssd
+        head_ppa = ssd.mapping.lookup(lpa)
+        if head_ppa == NULL_PPA:
+            return None, NULL_PPA, now_us
+        result = ssd.device.read_page(head_ppa, now_us)
+        return result.data, result.oob.timestamp_us, result.complete_us

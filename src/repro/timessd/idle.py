@@ -1,0 +1,12 @@
+"""Idle-time prediction (paper §3.6) — implementation lives in
+:mod:`repro.common.idle` because the base FTL uses it too (background
+GC), but the exponential-smoothing predictor is TimeSSD's §3.6 design:
+
+    t_predict[i] = alpha * t_interval[i-1] + (1 - alpha) * t_predict[i-1]
+
+with ``alpha = 0.5`` and a 10 ms compression threshold.
+"""
+
+from repro.common.idle import IdlePredictor
+
+__all__ = ["IdlePredictor"]

@@ -1,0 +1,173 @@
+"""The time-travel reverse index (paper §3.7).
+
+Each LPA's version history is split into two chains:
+
+* the **data-page chain** — uncompressed versions still sitting on flash
+  data pages, linked newest-to-oldest by the back-pointers in each page's
+  OOB metadata; its head is the AMT entry;
+* the **delta-page chain** — older versions compressed into deltas,
+  linked by delta back-pointers; its head lives in the index mapping
+  table (IMT).
+
+Invariant (established by GC, checked by tests): every delta-chain
+version is older than every surviving data-page version of the same LPA.
+
+The page reclamation table (PRT) marks invalid pages whose content has
+been compressed (or has expired) so GC can discard them without reading.
+"""
+
+from dataclasses import dataclass
+
+from repro.flash.page import NULL_PPA, PageState
+
+
+@dataclass(frozen=True)
+class Version:
+    """One retrievable version of a logical page."""
+
+    lpa: int
+    timestamp_us: int
+    data: object
+    source: str  # "current", "data-page", "delta", "delta-ram"
+
+    def __repr__(self):
+        return "Version(lpa=%d, ts=%d, %s)" % (self.lpa, self.timestamp_us, self.source)
+
+
+@dataclass
+class ChainWalk:
+    """Result of walking a version chain: entries plus the finish time."""
+
+    entries: list
+    complete_us: int
+
+
+class TimeTravelIndex:
+    """IMT + PRT + chain-walking over a flash device."""
+
+    def __init__(self, device):
+        self._device = device
+        self._geo = device.geometry
+        self._imt = {}
+        self._reclaimable = set()
+
+    # --- PRT ----------------------------------------------------------------
+
+    def mark_reclaimable(self, ppa):
+        """Mark an invalid page reclaimable; True if newly marked."""
+        if ppa in self._reclaimable:
+            return False
+        self._reclaimable.add(ppa)
+        return True
+
+    def is_reclaimable(self, ppa):
+        return ppa in self._reclaimable
+
+    def clear_block(self, pba):
+        """Forget PRT bits of an erased block."""
+        for ppa in self._geo.pages_of_block(pba):
+            self._reclaimable.discard(ppa)
+
+    def reclaimable_count(self):
+        return len(self._reclaimable)
+
+    # --- IMT ----------------------------------------------------------------
+
+    def delta_head(self, lpa):
+        return self._imt.get(lpa)
+
+    def set_delta_head(self, lpa, record):
+        if record is None:
+            self._imt.pop(lpa, None)
+        else:
+            self._imt[lpa] = record
+
+    def imt_size(self):
+        return len(self._imt)
+
+    # --- Data-page chain ------------------------------------------------------
+
+    def _page_holds_version(self, ppa, lpa, newer_ts):
+        """Verify a chain hop: the page must still hold ``lpa`` data older
+        than ``newer_ts`` (paper: "correct LPA and a decreasing timestamp").
+        """
+        page = self._device.peek_page(ppa)
+        if page.state is not PageState.PROGRAMMED or page.oob is None:
+            return False
+        return page.oob.lpa == lpa and page.oob.timestamp_us < newer_ts
+
+    def walk_data_chain(self, lpa, head_ppa, now_us, include_head=True, until_ts=None):
+        """Follow back-pointers from ``head_ppa``; returns a ChainWalk.
+
+        Entries are ``(ppa, oob, data)`` newest first.  Each hop costs a
+        flash page read, sequenced on the page's channel (dependent reads
+        cannot overlap).  The walk stops at a NULL pointer, an erased or
+        recycled page, or a timestamp-order violation — exactly the
+        "chain broken by GC" condition of the paper's Figure 5.
+
+        ``until_ts`` implements the paper's AddrQuery early stop:
+        "retrieval stops when a version's writing time reaches the target
+        time" — the first entry written at or before ``until_ts`` ends
+        the walk.
+        """
+        entries = []
+        t = now_us
+        if head_ppa == NULL_PPA:
+            return ChainWalk(entries, t)
+        if self._device.peek_page(head_ppa).state is not PageState.PROGRAMMED:
+            return ChainWalk(entries, t)
+        result = self._device.read_page(head_ppa, t)
+        t = result.complete_us
+        if result.oob.lpa != lpa:
+            return ChainWalk(entries, t)
+        if include_head:
+            entries.append((head_ppa, result.oob, result.data))
+        if until_ts is not None and result.oob.timestamp_us <= until_ts:
+            return ChainWalk(entries, t)
+        prev_ts = result.oob.timestamp_us
+        ppa = result.oob.back_pointer
+        while ppa != NULL_PPA and self._page_holds_version(ppa, lpa, prev_ts):
+            result = self._device.read_page(ppa, t)
+            t = result.complete_us
+            entries.append((ppa, result.oob, result.data))
+            prev_ts = result.oob.timestamp_us
+            if until_ts is not None and prev_ts <= until_ts:
+                break
+            ppa = result.oob.back_pointer
+        return ChainWalk(entries, t)
+
+    # --- Delta chain ------------------------------------------------------------
+
+    def walk_delta_chain(self, lpa, now_us, until_ts=None):
+        """Follow the delta chain from the IMT head; returns a ChainWalk.
+
+        Entries are live :class:`DeltaRecord` objects, newest first.
+        Hopping into a flushed delta page costs one flash read (cached
+        within the walk — several deltas of one LPA often share a page);
+        RAM-buffered records cost nothing.  ``until_ts`` stops the walk
+        at the first record written at or before it.
+        """
+        entries = []
+        t = now_us
+        pages_read = set()
+        record = self._imt.get(lpa)
+        while record is not None:
+            if record.dropped:
+                break
+            if record.flash_ppa is not None and record.flash_ppa not in pages_read:
+                result = self._device.read_page(record.flash_ppa, t)
+                t = result.complete_us
+                pages_read.add(record.flash_ppa)
+            entries.append(record)
+            if until_ts is not None and record.version_ts <= until_ts:
+                break
+            record = record.back
+        return ChainWalk(entries, t)
+
+    def prune_dropped_head(self, lpa):
+        """Drop IMT heads whose records died with their bloom segment."""
+        record = self._imt.get(lpa)
+        while record is not None and record.dropped:
+            record = record.back
+        self.set_delta_head(lpa, record)
+        return record

@@ -1,0 +1,110 @@
+"""LZF compression, implemented from scratch (paper §4 uses LibLZF).
+
+LZF trades ratio for speed, which is why the paper picked it for on-
+controller delta compression.  The format is LibLZF's:
+
+* control byte ``< 32``: a literal run of ``ctrl + 1`` bytes follows;
+* control byte ``>= 32``: a back-reference.  ``length = (ctrl >> 5) + 2``;
+  a length field of 7 is extended by the next byte.  The reference
+  distance is ``(((ctrl & 0x1f) << 8) | last_byte) + 1``.
+
+:func:`compress` and :func:`decompress` round-trip arbitrary bytes.
+"""
+
+from repro.common.errors import ReproError
+
+_MAX_OFFSET = 1 << 13  # 8 KiB window, as in LibLZF
+_MAX_LITERAL = 32
+_MAX_MATCH = 264  # 2 + 7 + 255
+
+
+def compress(data):
+    """LZF-compress ``data``; returns the compressed bytes.
+
+    The output can be longer than the input for incompressible data
+    (worst case ~3% overhead); callers that care should compare lengths.
+    """
+    data = bytes(data)
+    n = len(data)
+    out = bytearray()
+    literals = bytearray()
+    table = {}
+    i = 0
+
+    def flush_literals():
+        start = 0
+        while start < len(literals):
+            run = literals[start : start + _MAX_LITERAL]
+            out.append(len(run) - 1)
+            out.extend(run)
+            start += len(run)
+        del literals[:]
+
+    while i < n - 2:
+        key = data[i : i + 3]
+        ref = table.get(key)
+        table[key] = i
+        if ref is not None and 0 < i - ref <= _MAX_OFFSET:
+            match_limit = min(n - i, _MAX_MATCH)
+            length = 3
+            while length < match_limit and data[ref + length] == data[i + length]:
+                length += 1
+            flush_literals()
+            offset = i - ref - 1
+            encoded = length - 2
+            if encoded < 7:
+                out.append((encoded << 5) | (offset >> 8))
+            else:
+                out.append((7 << 5) | (offset >> 8))
+                out.append(encoded - 7)
+            out.append(offset & 0xFF)
+            i += length
+        else:
+            literals.append(data[i])
+            i += 1
+
+    literals.extend(data[i:])
+    flush_literals()
+    return bytes(out)
+
+
+def decompress(blob, expected_length=None):
+    """Inverse of :func:`compress`.
+
+    ``expected_length``, when given, is verified against the output.
+    """
+    blob = bytes(blob)
+    out = bytearray()
+    i = 0
+    n = len(blob)
+    while i < n:
+        ctrl = blob[i]
+        i += 1
+        if ctrl < _MAX_LITERAL:
+            run = ctrl + 1
+            if i + run > n:
+                raise ReproError("corrupt LZF stream: literal run past end")
+            out.extend(blob[i : i + run])
+            i += run
+        else:
+            length = ctrl >> 5
+            if length == 7:
+                if i >= n:
+                    raise ReproError("corrupt LZF stream: missing length byte")
+                length += blob[i]
+                i += 1
+            length += 2
+            if i >= n:
+                raise ReproError("corrupt LZF stream: missing offset byte")
+            distance = (((ctrl & 0x1F) << 8) | blob[i]) + 1
+            i += 1
+            start = len(out) - distance
+            if start < 0:
+                raise ReproError("corrupt LZF stream: reference before start")
+            for k in range(length):
+                out.append(out[start + k])
+    if expected_length is not None and len(out) != expected_length:
+        raise ReproError(
+            "LZF length mismatch: expected %d, got %d" % (expected_length, len(out))
+        )
+    return bytes(out)

@@ -1,0 +1,155 @@
+"""Power-loss recovery: rebuild firmware RAM state from flash.
+
+Everything in Figure 3 lives in controller RAM — the AMT cache, BST,
+PVT, IMT, PRT, bloom filters and delta buffers.  After power loss a real
+FTL reconstructs its tables by scanning the out-of-band metadata, which
+is exactly why TimeSSD stores (LPA, back-pointer, timestamp) in OOB.
+
+:func:`simulate_power_loss` wipes the volatile state (including the RAM
+delta buffers — real firmware would flush those with capacitor-backed
+power; we model the conservative worst case where they are lost);
+:func:`rebuild_from_flash` reconstructs:
+
+* AMT + PVT — the newest OOB timestamp per LPA wins the mapping;
+* block states and the free pool — from device write pointers;
+* the PRT — invalid pages whose (LPA, timestamp) already exist as a
+  delta record are reclaimable;
+* the IMT — delta chains relinked from the records found in delta
+  pages, newest-first;
+* the bloom chain — one conservative recovery segment retaining every
+  surviving invalid page (nothing expires before the floor re-elapses,
+  which errs on the safe side).
+"""
+
+from collections import defaultdict
+
+from repro.flash.page import NULL_PPA, OOBMetadata, PageState
+from repro.ftl.block_manager import BlockKind, BlockManager
+from repro.ftl.mapping import AddressMappingTable
+from repro.timessd.delta import DeltaPage
+from repro.timessd.index import TimeTravelIndex
+
+
+def simulate_power_loss(ssd):
+    """Drop every volatile structure, as an abrupt power cut would.
+
+    The flash array (page contents, OOB, write pointers, erase counts)
+    survives; every RAM table is replaced with an empty shell.  The
+    device is unusable until :func:`rebuild_from_flash` runs.
+    """
+    config = ssd.config
+    ssd.mapping = AddressMappingTable(
+        config.logical_pages, config.mapping_cache_entries
+    )
+    ssd.block_manager = BlockManager(ssd.device, config.block_endurance_cycles)
+    # The fresh BlockManager believes every block is free; rebuild fixes it.
+    ssd.index = TimeTravelIndex(ssd.device)
+    ssd.blooms._segments.clear()
+    ssd.blooms._new_segment()
+    ssd.deltas._segments.clear()
+    ssd._retained_per_block.clear()
+    ssd._trim_tombstones.clear()
+    ssd.retained_pages = 0
+    return ssd
+
+
+def rebuild_from_flash(ssd):
+    """Reconstruct the firmware tables by scanning OOB metadata.
+
+    Returns a dict of recovery statistics.
+    """
+    device = ssd.device
+    geo = device.geometry
+    bm = ssd.block_manager
+
+    heads = {}  # lpa -> (timestamp, ppa)
+    user_pages = []  # (ppa, lpa, ts)
+    delta_records = []
+    delta_blocks = set()
+
+    for pba in range(geo.total_blocks):
+        block = device.blocks[pba]
+        if block.is_erased:
+            continue
+        # Occupied blocks must leave the (fresh) free pool.
+        _claim_block(bm, pba)
+        for offset in range(block.write_pointer):
+            page = block.pages[offset]
+            if page.state is not PageState.PROGRAMMED or page.oob is None:
+                continue
+            ppa = geo.first_page_of_block(pba) + offset
+            if isinstance(page.data, DeltaPage):
+                delta_blocks.add(pba)
+                delta_records.extend(
+                    r for r in page.data.records if not r.dropped
+                )
+                continue
+            lpa = page.oob.lpa
+            if lpa < 0:
+                continue  # housekeeping page
+            ts = page.oob.timestamp_us
+            user_pages.append((ppa, lpa, ts))
+            best = heads.get(lpa)
+            if best is None or ts > best[0]:
+                heads[lpa] = (ts, ppa)
+
+    for pba in delta_blocks:
+        bm.set_kind(pba, BlockKind.DELTA)
+
+    # AMT + PVT: the newest version of each LPA is the live mapping.
+    for lpa, (_ts, ppa) in heads.items():
+        ssd.mapping.update(lpa, ppa)
+        bm.mark_valid(ppa)
+
+    # Delta chains: group, order newest-first, relink, and re-home every
+    # record into one conservative recovery segment.
+    recovery_segment = ssd.blooms.live_segments()[-1]
+    by_lpa = defaultdict(list)
+    delta_identities = set()
+    for record in delta_records:
+        record.segment_id = recovery_segment.segment_id
+        by_lpa[record.lpa].append(record)
+        delta_identities.add((record.lpa, record.version_ts))
+    for lpa, records in by_lpa.items():
+        records.sort(key=lambda r: -r.version_ts)
+        for newer, older in zip(records, records[1:]):
+            newer.back = older
+        records[-1].back = None
+        ssd.index.set_delta_head(lpa, records[0])
+
+    # Retained invalid pages: everything programmed but not a head.
+    retained = 0
+    reclaimable = 0
+    for ppa, lpa, ts in user_pages:
+        if heads.get(lpa, (None, None))[1] == ppa:
+            continue
+        if (lpa, ts) in delta_identities:
+            # Already preserved as a delta: the data page is redundant.
+            ssd.index.mark_reclaimable(ppa)
+            reclaimable += 1
+            continue
+        ssd.blooms.record_invalidation(ppa)
+        pba = geo.block_of_page(ppa)
+        ssd._retained_per_block[pba] += 1
+        ssd.retained_pages += 1
+        retained += 1
+
+    return {
+        "mapped_lpas": len(heads),
+        "retained_pages": retained,
+        "reclaimable_pages": reclaimable,
+        "delta_records": len(delta_records),
+        "delta_blocks": len(delta_blocks),
+        "free_blocks": bm.free_block_count,
+    }
+
+
+def _claim_block(bm, pba):
+    """Remove ``pba`` from the fresh BlockManager's free pool."""
+    channel = bm._geo.channel_of_block(pba)
+    try:
+        bm._free[channel].remove(pba)
+    except ValueError:
+        return  # already claimed
+    bm._free_count -= 1
+    bm.set_kind(pba, BlockKind.DATA)

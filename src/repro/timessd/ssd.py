@@ -1,0 +1,396 @@
+"""TimeSSD: the time-traveling solid-state drive (paper §3).
+
+Externally a TimeSSD behaves exactly like a regular SSD — same
+read/write/TRIM interface, same mapping — but every overwritten or
+deleted page version is retained for a workload-adaptive window of time
+(never below the configured floor) and remains retrievable through the
+time-travel index.  :mod:`repro.timekits` provides the query surface.
+"""
+
+import random
+from collections import defaultdict
+
+from repro.common.errors import (
+    DeviceFullError,
+    QueryError,
+    ReproError,
+    RetentionViolationError,
+)
+from repro.common.units import format_duration
+from repro.flash.page import NULL_PPA, PageState
+from repro.ftl.block_manager import BlockKind
+from repro.ftl.ssd import BaseSSD
+from repro.timessd.bloom import TimeSegmentedBlooms
+from repro.timessd.config import ContentMode, TimeSSDConfig
+from repro.timessd.delta import DeltaManager, ModeledDeltaCodec, RealDeltaCodec
+from repro.timessd.gc import TimeSSDGarbageCollector
+from repro.common.idle import IdlePredictor
+from repro.timessd.index import TimeTravelIndex, Version
+from repro.timessd.retention import GCOverheadEstimator, RetentionManager
+from repro.timessd.secure import RetentionCipher, RetentionLock
+
+
+class TimeSSD(BaseSSD):
+    """An SSD that retains past storage states in firmware."""
+
+    def __init__(self, config=None, clock=None):
+        config = config or TimeSSDConfig()
+        if not isinstance(config, TimeSSDConfig):
+            raise TypeError("TimeSSD requires a TimeSSDConfig")
+        super().__init__(config, clock)
+        self._rng = random.Random(config.seed)
+        self.blooms = TimeSegmentedBlooms(
+            self.clock,
+            capacity_per_filter=config.bloom_capacity,
+            fp_rate=config.bloom_fp_rate,
+            group_size=config.bloom_group_size,
+            seed=config.seed,
+            max_segment_age_us=config.bloom_segment_max_age_us,
+        )
+        self.index = TimeTravelIndex(self.device)
+        page_size = config.geometry.page_size
+        if config.content_mode is ContentMode.REAL:
+            codec = RealDeltaCodec(page_size)
+        else:
+            codec = ModeledDeltaCodec(
+                page_size,
+                config.modeled_ratio_mean,
+                config.modeled_ratio_sd,
+                self._rng,
+            )
+        self.deltas = DeltaManager(
+            self,
+            codec,
+            page_size,
+            config.delta_page_header_bytes,
+            config.delta_metadata_bytes,
+        )
+        self.estimator = GCOverheadEstimator(
+            config.timing,
+            config.gc_overhead_threshold,
+            config.gc_overhead_period_writes,
+        )
+        self.retention = RetentionManager(self.blooms, config.retention_floor_us)
+        self.collector = TimeSSDGarbageCollector(self)
+        # Replace the base predictor with one on the paper's §3.6 knobs;
+        # keep the public alias the tooling and tests use.
+        self._idle = IdlePredictor(config.idle_alpha, config.idle_threshold_us)
+        self.idle_predictor = self._idle
+        self._retained_per_block = defaultdict(int)
+        self._trim_tombstones = {}
+        if config.retention_key is not None:
+            self.retention_lock = RetentionLock(RetentionCipher(config.retention_key))
+        else:
+            self.retention_lock = None
+        self.retained_pages = 0
+        self.background_compressed = 0
+        self.background_windows = 0
+
+    # --- Retention bookkeeping -------------------------------------------------
+
+    def _on_invalidate(self, lpa, old_ppa, now_us):
+        super()._on_invalidate(lpa, old_ppa, now_us)
+        self.blooms.record_invalidation(old_ppa)
+        pba = self.device.geometry.block_of_page(old_ppa)
+        self._retained_per_block[pba] += 1
+        self.retained_pages += 1
+        if not self.mapping.is_mapped(lpa):
+            # TRIM: keep a tombstone so the next write of this LPA links
+            # its back-pointer to the deleted version — deleted files
+            # stay on the reverse chain (real firmware keeps the stale
+            # mapping entry until GC the same way).
+            self._trim_tombstones[lpa] = old_ppa
+
+    def _back_pointer_for(self, lpa, old_ppa):
+        if old_ppa != NULL_PPA:
+            return old_ppa
+        return self._trim_tombstones.pop(lpa, old_ppa)
+
+    def _program_user_page(self, lpa, data, now_us):
+        # Fail fast: in REAL content mode every write must carry one full
+        # page of bytes, or delta compression would blow up much later,
+        # deep inside a GC pass.
+        if self.config.content_mode is ContentMode.REAL and not isinstance(
+            data, (bytes, bytearray)
+        ):
+            raise ReproError(
+                "REAL content mode requires bytes page data for LPA %d "
+                "(got %s)" % (lpa, type(data).__name__)
+            )
+        return super()._program_user_page(lpa, data, now_us)
+
+    def note_page_no_longer_retained(self, ppa):
+        """A retained page expired or was compressed into the delta chain."""
+        pba = self.device.geometry.block_of_page(ppa)
+        if self._retained_per_block[pba] > 0:
+            self._retained_per_block[pba] -= 1
+            self.retained_pages -= 1
+
+    def forget_block_retention(self, pba):
+        """Erasing a block forgets its retained-page census."""
+        count = self._retained_per_block.pop(pba, 0)
+        self.retained_pages -= count
+
+    # --- Write path ---------------------------------------------------------
+
+    def _after_host_request(self, complete_us, wrote):
+        super()._after_host_request(complete_us, wrote)
+        if wrote and self.estimator.note_user_write():
+            # Shrink proportionally to how badly GC overshot the Equation-1
+            # threshold (at least one segment, at most four per period).
+            drops = max(1, min(4, int(self.estimator.overshoot_ratio())))
+            for _ in range(drops):
+                if self._shrink_retention(complete_us) is None:
+                    break
+
+    def _use_idle_window(self, start_us, deadline_us):
+        """Idle housekeeping: background GC first, then delta compression."""
+        cursor = start_us
+        if self.config.background_gc:
+            cursor = self._background_collect(start_us, deadline_us)
+        if self.config.background_compression and self.config.delta_compression:
+            self._background_compress(cursor, deadline_us)
+
+    # --- Garbage collection ----------------------------------------------------
+
+    def _collect_garbage(self, now_us):
+        victim = self.block_manager.select_victim(
+            self.config.gc_policy, now_us, BlockKind.DATA
+        )
+        if victim is None:
+            if self._shrink_retention(now_us) is None:
+                self._raise_retention_violation()
+            return
+        before = self.device.counters.snapshot()
+        self.collector.reclaim_block(victim, now_us)
+        after = self.device.counters
+        # Equation 1 counts every GC operation — background rounds never
+        # delay a request, but they still consume lifetime (the paper's
+        # estimator is a proxy for total GC burden, and write
+        # amplification is what Figure 7 holds TimeSSD accountable for).
+        self.estimator.note_gc_ops(
+            reads=after.page_reads - before.page_reads,
+            writes=after.page_programs - before.page_programs,
+            erases=after.block_erases - before.block_erases,
+            deltas=after.delta_compressions - before.delta_compressions,
+        )
+
+    def _ensure_free_space(self, now_us):
+        stalled_rounds = 0
+        guard = 0
+        bm = self.block_manager
+        while bm.free_block_count <= self.config.gc_low_watermark:
+            pages_before = self.free_page_estimate()
+            self._collect_garbage(now_us)
+            self.gc_runs += 1
+            # Progress is measured in free *pages*: a round that compresses
+            # retained data gains pages even when opening fresh GC/delta
+            # append blocks momentarily dips the free-block count.
+            if self.free_page_estimate() <= pages_before:
+                stalled_rounds += 1
+                # GC is churning without freeing space: the device is
+                # filling with valid + retained data.  Shrink the window
+                # (floor permitting) so expired pages open up.  The alarm
+                # (stop serving I/O, paper §3.4) fires only when the pool
+                # is truly exhausted and the floor forbids recycling.
+                if stalled_rounds >= 3:
+                    if (
+                        self._shrink_retention(now_us) is None
+                        and bm.free_block_count <= 2
+                    ):
+                        self._raise_retention_violation()
+                    stalled_rounds = 0
+            else:
+                stalled_rounds = 0
+            guard += 1
+            if guard > 4 * self.device.geometry.total_blocks:
+                raise DeviceFullError("TimeSSD GC cannot make progress")
+
+    def relocate_block(self, pba, now_us):
+        """Wear-leveling relocation uses the retention-aware reclaimer."""
+        self.collector.reclaim_block(pba, now_us)
+
+    def _raise_retention_violation(self):
+        oldest = self.blooms.window_start_us()
+        raise RetentionViolationError(
+            "free space exhausted but the retention floor (%s) forbids "
+            "recycling history (oldest retained state: %s old); the device "
+            "stops serving writes"
+            % (
+                format_duration(self.config.retention_floor_us),
+                format_duration(self.clock.now_us - oldest),
+            ),
+            oldest_retained_us=oldest,
+            floor_us=self.config.retention_floor_us,
+        )
+
+    # --- Retention window ------------------------------------------------------
+
+    def _shrink_retention(self, now_us):
+        segment = self.retention.shrink()
+        if segment is not None:
+            self.deltas.drop_segment(segment.segment_id, now_us)
+        return segment
+
+    def erase_delta_block(self, pba, now_us):
+        """Erase an expired delta block (no migration, Algorithm 1 line 3)."""
+        self.device.erase_block(pba, now_us)
+        self.index.clear_block(pba)
+        self.forget_block_retention(pba)
+        self.block_manager.release_block(pba)
+        self.wear_leveler.on_erase(now_us)
+
+    def retention_window_us(self):
+        """Current achieved retention duration (Figure 8 metric)."""
+        return self.blooms.retention_us()
+
+    # --- Encrypted retention (§3.10) ---------------------------------------------
+
+    def unlock_retention(self, key):
+        """Authorize retrieval of encrypted history with the user key."""
+        if self.retention_lock is None:
+            raise QueryError("this device has no retention key configured")
+        self.retention_lock.unlock(key)
+
+    def lock_retention(self):
+        """Re-seal encrypted history (e.g. before handing the drive over)."""
+        if self.retention_lock is not None:
+            self.retention_lock.lock()
+
+    def seal_retained_payload(self, payload, lpa, version_ts):
+        """Encrypt a payload entering the retained store (GC calls this)."""
+        if self.retention_lock is None:
+            return payload
+        return self.retention_lock.cipher.encrypt_payload(payload, lpa, version_ts)
+
+    # --- Background (idle) compression -------------------------------------------
+
+    def _background_compress(self, start_us, deadline_us):
+        """Compress retained pages during a predicted-idle window (§3.6).
+
+        Work is scheduled inside ``[start_us, deadline_us)`` and suspends
+        before any step that would overrun the arrival of the request that
+        ended the window, so foreground I/O never waits on it.
+        """
+        self.background_windows += 1
+        timing = self.device.timing
+        # Conservative per-page cost bound used to decide whether the next
+        # compression still fits in the window.
+        step_bound = 3 * timing.read_us + timing.delta_compress_us + timing.program_us
+        t = start_us
+        for pba in self._background_victims():
+            for ppa in self.device.geometry.pages_of_block(pba):
+                if t + step_bound > deadline_us:
+                    return
+                page = self.device.peek_page(ppa)
+                if page.state is not PageState.PROGRAMMED:
+                    continue
+                if self.block_manager.is_valid(ppa) or self.index.is_reclaimable(ppa):
+                    continue
+                if self.blooms.find_segment(ppa) is None:
+                    if self.index.mark_reclaimable(ppa):
+                        self.note_page_no_longer_retained(ppa)
+                    continue
+                t, compressed = self.collector.compress_version_chain(ppa, t)
+                self.background_compressed += compressed
+
+    def _background_victims(self, limit=None):
+        """Sealed data blocks richest in retained, uncompressed pages."""
+        limit = limit or self.config.idle_scan_blocks
+        candidates = [
+            (count, pba)
+            for pba, count in self._retained_per_block.items()
+            if count > 0 and self.block_manager.kind(pba) is BlockKind.DATA
+        ]
+        active = self.block_manager.active_blocks()
+        candidates = [(c, pba) for c, pba in candidates if pba not in active]
+        candidates.sort(reverse=True)
+        return [pba for _count, pba in candidates[:limit]]
+
+    # --- Version retrieval (the substrate TimeKits queries ride on) -------------
+
+    def version_chain(self, lpa, start_us=None, until_ts=None):
+        """All retrievable versions of ``lpa``, newest first.
+
+        Returns ``(versions, complete_us)`` where ``versions`` includes
+        the current (valid) version first, then retained older versions
+        from the data-page chain and the delta chain, deduplicated by
+        write timestamp.  Costs are charged like real firmware: dependent
+        page reads sequenced per channel plus decompression time.
+
+        ``until_ts`` enables the paper's AddrQuery early stop: the walk
+        ends at the first version written at or before ``until_ts``, and
+        the delta chain is only consulted when the data-page chain did
+        not reach that far back.
+        """
+        if self.retention_lock is not None and not self.retention_lock.unlocked:
+            # §3.10: with a retention key configured, history retrieval
+            # is firmware-gated — current data stays readable via read(),
+            # but no past version leaves the device until unlock.
+            raise QueryError(
+                "retained history is locked; call unlock_retention(key)"
+            )
+        t = self.clock.now_us if start_us is None else start_us
+        head_ppa = self.mapping.lookup(lpa)
+        has_current = head_ppa != NULL_PPA
+        if not has_current:
+            # TRIMmed and never rewritten: the deleted version chain is
+            # still reachable through the tombstone.
+            head_ppa = self._trim_tombstones.get(lpa, NULL_PPA)
+        versions = []
+        seen_ts = set()
+        by_ts = {}
+
+        walk = self.index.walk_data_chain(lpa, head_ppa, t, until_ts=until_ts)
+        t = walk.complete_us
+        for i, (_ppa, oob, data) in enumerate(walk.entries):
+            source = "current" if (i == 0 and has_current) else "data-page"
+            versions.append(Version(lpa, oob.timestamp_us, data, source))
+            seen_ts.add(oob.timestamp_us)
+            by_ts[oob.timestamp_us] = data
+
+        if (
+            until_ts is not None
+            and versions
+            and versions[-1].timestamp_us <= until_ts
+        ):
+            # The data-page chain already reached the target time.
+            return versions, t
+
+        delta_walk = self.index.walk_delta_chain(lpa, t, until_ts=until_ts)
+        t = delta_walk.complete_us
+        timing = self.device.timing
+        for record in delta_walk.entries:
+            if record.version_ts in seen_ts:
+                continue  # still on an un-erased data page; prefer that copy
+            payload = record.payload
+            if self.retention_lock is not None:
+                payload = self.retention_lock.open_payload(payload)
+            if record.compressed:
+                ref_data = by_ts.get(record.ref_ts)
+                data = self.deltas.codec.decompress(payload, ref_data)
+                self.device.counters.delta_decompressions += 1
+                channel = (
+                    self.device.geometry.channel_of_page(record.flash_ppa)
+                    if record.flash_ppa is not None
+                    else 0
+                )
+                t = self.device.timelines.schedule(
+                    channel, t, timing.delta_decompress_us
+                )
+            else:
+                data = payload
+            source = "delta" if record.flash_ppa is not None else "delta-ram"
+            versions.append(Version(lpa, record.version_ts, data, source))
+            seen_ts.add(record.version_ts)
+            by_ts[record.version_ts] = data
+            if until_ts is not None and record.version_ts <= until_ts:
+                break
+        return versions, t
+
+    def __repr__(self):
+        return "TimeSSD(%d logical pages, retention=%s, retained=%d pages)" % (
+            self.logical_pages,
+            format_duration(self.retention_window_us()),
+            self.retained_pages,
+        )

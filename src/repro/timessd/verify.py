@@ -1,0 +1,170 @@
+"""Device self-check: an fsck for TimeSSD.
+
+Audits every cross-structure invariant the design relies on.  Used by
+the stress tests after heavy churn, exposed on the CLI (``repro fsck``
+style usage via the API), and handy when extending the firmware — run
+it after any change to GC, the index, or the delta store.
+
+Checked invariants:
+
+* **mapping/PVT agreement** — every mapped LPA's head page is valid and
+  holds that LPA; every valid page is some LPA's head;
+* **chain soundness** — version chains are strictly newest-first and
+  every hop passes the OOB verification rule;
+* **delta-chain order** — every delta version is older than every
+  surviving data-page version of its LPA (§3.7 invariant);
+* **PRT consistency** — reclaimable pages are never valid;
+* **free-pool hygiene** — FREE blocks are erased; counts agree;
+* **retention accounting** — the retained-page census never goes
+  negative and covers only data blocks;
+* **segment/delta agreement** — live delta records reference live
+  segments; dropped segments own no reachable records.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.flash.page import PageState
+from repro.ftl.block_manager import BlockKind
+
+
+@dataclass
+class AuditReport:
+    """Outcome of a device audit."""
+
+    checks_run: int = 0
+    violations: list = field(default_factory=list)
+
+    @property
+    def clean(self):
+        return not self.violations
+
+    def problem(self, message):
+        self.violations.append(message)
+
+    def __repr__(self):
+        state = "clean" if self.clean else "%d violations" % len(self.violations)
+        return "AuditReport(%d checks, %s)" % (self.checks_run, state)
+
+
+class DeviceAuditor:
+    """Runs the full invariant suite against a TimeSSD."""
+
+    def __init__(self, ssd):
+        self.ssd = ssd
+
+    def audit(self, sample_lpa_stride=1):
+        """Run every check; returns an :class:`AuditReport`.
+
+        ``sample_lpa_stride`` audits every N-th mapped LPA's chain (1 =
+        all of them) — chain walks on huge devices can be throttled.
+        """
+        report = AuditReport()
+        self._check_mapping_pvt(report)
+        self._check_chains(report, sample_lpa_stride)
+        self._check_prt(report)
+        self._check_free_pool(report)
+        self._check_retention_census(report)
+        self._check_segments(report)
+        return report
+
+    # --- Individual checks ------------------------------------------------------
+
+    def _check_mapping_pvt(self, report):
+        report.checks_run += 1
+        ssd = self.ssd
+        heads = set()
+        for lpa in ssd.mapping.mapped_lpas():
+            ppa = ssd.mapping.lookup(lpa)
+            heads.add(ppa)
+            if not ssd.block_manager.is_valid(ppa):
+                report.problem("mapped LPA %d head PPA %d not valid" % (lpa, ppa))
+                continue
+            page = ssd.device.peek_page(ppa)
+            if page.state is not PageState.PROGRAMMED:
+                report.problem("mapped LPA %d head PPA %d not programmed" % (lpa, ppa))
+            elif page.oob.lpa != lpa:
+                report.problem(
+                    "mapped LPA %d head holds LPA %d" % (lpa, page.oob.lpa)
+                )
+        geo = ssd.device.geometry
+        for pba in range(geo.total_blocks):
+            for ppa in geo.pages_of_block(pba):
+                if ssd.block_manager.is_valid(ppa) and ppa not in heads:
+                    report.problem("valid page %d is not any LPA's head" % ppa)
+
+    def _check_chains(self, report, stride):
+        report.checks_run += 1
+        ssd = self.ssd
+        locked = (
+            ssd.retention_lock is not None and not ssd.retention_lock.unlocked
+        )
+        if locked:
+            return  # encrypted history cannot be walked while locked
+        for lpa in list(ssd.mapping.mapped_lpas())[::stride]:
+            versions, _ = ssd.version_chain(lpa)
+            stamps = [v.timestamp_us for v in versions]
+            if stamps != sorted(stamps, reverse=True):
+                report.problem("LPA %d chain not newest-first: %s" % (lpa, stamps))
+            if len(set(stamps)) != len(stamps):
+                report.problem("LPA %d chain has duplicate timestamps" % lpa)
+            data_ts = [
+                v.timestamp_us
+                for v in versions
+                if v.source in ("current", "data-page")
+            ]
+            delta_ts = [
+                v.timestamp_us for v in versions if v.source.startswith("delta")
+            ]
+            if data_ts and delta_ts and max(delta_ts) >= min(data_ts):
+                report.problem(
+                    "LPA %d delta chain overlaps data chain in time" % lpa
+                )
+
+    def _check_prt(self, report):
+        report.checks_run += 1
+        ssd = self.ssd
+        for ppa in list(ssd.index._reclaimable):
+            if ssd.block_manager.is_valid(ppa):
+                report.problem("reclaimable page %d is marked valid" % ppa)
+
+    def _check_free_pool(self, report):
+        report.checks_run += 1
+        ssd = self.ssd
+        geo = ssd.device.geometry
+        free_seen = 0
+        for pba in range(geo.total_blocks):
+            kind = ssd.block_manager.kind(pba)
+            if kind is BlockKind.FREE:
+                free_seen += 1
+                if not ssd.device.blocks[pba].is_erased:
+                    report.problem("FREE block %d is not erased" % pba)
+        if free_seen != ssd.block_manager.free_block_count:
+            report.problem(
+                "free-block count %d != %d FREE blocks on device"
+                % (ssd.block_manager.free_block_count, free_seen)
+            )
+
+    def _check_retention_census(self, report):
+        report.checks_run += 1
+        ssd = self.ssd
+        if ssd.retained_pages < 0:
+            report.problem("negative retained-page total: %d" % ssd.retained_pages)
+        for pba, count in ssd._retained_per_block.items():
+            if count < 0:
+                report.problem("block %d retained census negative: %d" % (pba, count))
+
+    def _check_segments(self, report):
+        report.checks_run += 1
+        ssd = self.ssd
+        live_ids = {s.segment_id for s in ssd.blooms.live_segments()}
+        # Every reachable delta record must belong to a live segment.
+        for lpa in ssd.mapping.mapped_lpas():
+            record = ssd.index.delta_head(lpa)
+            while record is not None and not record.dropped:
+                if record.segment_id not in live_ids:
+                    report.problem(
+                        "LPA %d live delta (ts=%d) in dead segment %d"
+                        % (lpa, record.version_ts, record.segment_id)
+                    )
+                    break
+                record = record.back

@@ -1,0 +1,26 @@
+"""Workload substrates driving the evaluation.
+
+The paper's trace sets (MSR Cambridge, FIU) are not redistributable, so
+:mod:`repro.workloads.msr` and :mod:`repro.workloads.fiu` synthesize
+traces with per-volume parameters matched to the published workload
+characterizations (write ratio, intensity, locality, idleness).  The
+benchmark generators model IOZone, PostMark and Shore-MT-style OLTP.
+"""
+
+from repro.workloads.trace import ReplayStats, TraceRecord, TraceReplayer
+from repro.workloads.msr import MSR_VOLUMES, msr_trace
+from repro.workloads.fiu import FIU_VOLUMES, fiu_trace
+from repro.workloads.iozone import IOZoneWorkload
+from repro.workloads.postmark import PostMarkWorkload
+
+__all__ = [
+    "TraceRecord",
+    "TraceReplayer",
+    "ReplayStats",
+    "MSR_VOLUMES",
+    "msr_trace",
+    "FIU_VOLUMES",
+    "fiu_trace",
+    "IOZoneWorkload",
+    "PostMarkWorkload",
+]

@@ -1,0 +1,114 @@
+"""Trace characterization.
+
+Computes the statistical fingerprint the synthesizer is parameterized
+by — write ratio, working-set size, daily turnover, sequentiality,
+hot/cold skew, idle profile — from any iterable of
+:class:`~repro.workloads.trace.TraceRecord`.  Used three ways:
+
+* validating that synthesized traces actually exhibit their profile;
+* characterizing real traces (via :mod:`repro.workloads.io`) before
+  replaying them;
+* sizing devices for experiments (``pages_written`` vs capacity).
+"""
+
+from dataclasses import dataclass
+
+from repro.common.units import DAY_US, HOUR_US
+
+
+@dataclass
+class TraceStats:
+    """The fingerprint of one trace."""
+
+    requests: int
+    duration_us: int
+    write_ratio: float
+    pages_written: int
+    pages_read: int
+    working_set_pages: int
+    #: Pages written per day divided by working-set size.
+    daily_turnover: float
+    #: Fraction of requests that continue the previous request's range.
+    sequentiality: float
+    #: Smallest fraction of the working set receiving half the accesses.
+    hot_half_fraction: float
+    mean_interarrival_us: float
+    #: Fraction of wall time spent in gaps longer than 10 ms (idle).
+    idle_fraction: float
+
+    def summary(self):
+        lines = [
+            "requests:        %d over %.2f days" % (self.requests, self.duration_us / DAY_US),
+            "write ratio:     %.2f" % self.write_ratio,
+            "pages written:   %d (turnover %.3f/day)" % (self.pages_written, self.daily_turnover),
+            "working set:     %d pages" % self.working_set_pages,
+            "sequentiality:   %.2f" % self.sequentiality,
+            "hot-half:        %.2f of working set gets 50%% of accesses" % self.hot_half_fraction,
+            "interarrival:    %.1f ms mean, %.1f%% idle (>10ms gaps)"
+            % (self.mean_interarrival_us / 1000.0, self.idle_fraction * 100),
+        ]
+        return "\n".join(lines)
+
+
+IDLE_GAP_US = 10_000
+
+
+def analyze_trace(records):
+    """Compute :class:`TraceStats` for a list of records."""
+    records = list(records)
+    if not records:
+        raise ValueError("cannot analyze an empty trace")
+    requests = len(records)
+    writes = [r for r in records if r.op == "W"]
+    pages_written = sum(r.npages for r in writes)
+    pages_read = sum(r.npages for r in records if r.op == "R")
+
+    touched = set()
+    access_counts = {}
+    sequential = 0
+    prev_end = None
+    gaps = []
+    idle_time = 0
+    prev_ts = None
+    for record in records:
+        for page in range(record.lpa, record.lpa + record.npages):
+            touched.add(page)
+        access_counts[record.lpa] = access_counts.get(record.lpa, 0) + 1
+        if prev_end is not None and record.lpa == prev_end:
+            sequential += 1
+        prev_end = record.lpa + record.npages
+        if prev_ts is not None:
+            gap = record.timestamp_us - prev_ts
+            gaps.append(gap)
+            if gap > IDLE_GAP_US:
+                idle_time += gap
+        prev_ts = record.timestamp_us
+
+    duration = max(1, records[-1].timestamp_us - records[0].timestamp_us)
+    working_set = len(touched)
+    days = duration / DAY_US
+
+    counts = sorted(access_counts.values(), reverse=True)
+    half = sum(counts) / 2.0
+    running = 0.0
+    hot_lpas = 0
+    for count in counts:
+        running += count
+        hot_lpas += 1
+        if running >= half:
+            break
+    hot_half = hot_lpas / max(1, len(counts))
+
+    return TraceStats(
+        requests=requests,
+        duration_us=duration,
+        write_ratio=len(writes) / requests,
+        pages_written=pages_written,
+        pages_read=pages_read,
+        working_set_pages=working_set,
+        daily_turnover=(pages_written / working_set / days) if working_set and days else 0.0,
+        sequentiality=sequential / max(1, requests - 1),
+        hot_half_fraction=hot_half,
+        mean_interarrival_us=(sum(gaps) / len(gaps)) if gaps else 0.0,
+        idle_fraction=idle_time / duration,
+    )

@@ -1,0 +1,50 @@
+"""Page-content generation with controllable content locality.
+
+Delta compression's payoff depends on how similar consecutive versions
+of a page are (the paper cites 5-25% changed bits for real applications).
+The factory tracks the current content of each key and mutates a
+configurable fraction of bytes per update.
+"""
+
+import random
+
+from repro.common.errors import ReproError
+
+
+class ContentFactory:
+    """Versioned page contents with a tunable mutation rate."""
+
+    def __init__(self, page_size, rng=None, mutation_fraction=0.10):
+        if not 0 <= mutation_fraction <= 1:
+            raise ReproError("mutation_fraction must be in [0, 1]")
+        self.page_size = page_size
+        self.mutation_fraction = mutation_fraction
+        self._rng = rng or random.Random(0)
+        self._pages = {}
+
+    def fresh(self, key):
+        """Brand-new random page content for ``key``."""
+        page = bytearray(self._rng.randrange(256) for _ in range(self.page_size))
+        self._pages[key] = page
+        return bytes(page)
+
+    def incompressible(self):
+        """One-off random page (no version tracked) — IOZone-style."""
+        return bytes(self._rng.randrange(256) for _ in range(self.page_size))
+
+    def mutate(self, key):
+        """Next version of ``key``: mutates ``mutation_fraction`` bytes."""
+        page = self._pages.get(key)
+        if page is None:
+            return self.fresh(key)
+        changes = max(1, int(self.page_size * self.mutation_fraction))
+        for _ in range(changes):
+            page[self._rng.randrange(self.page_size)] = self._rng.randrange(256)
+        return bytes(page)
+
+    def current(self, key):
+        page = self._pages.get(key)
+        return bytes(page) if page is not None else None
+
+    def forget(self, key):
+        self._pages.pop(key, None)

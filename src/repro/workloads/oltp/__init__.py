@@ -1,0 +1,19 @@
+"""Miniature OLTP storage engine and transaction mixes.
+
+The paper runs Shore-MT with TPCC, TPCB and TATP.  What reaches the SSD
+from an OLTP engine is a mix of table-page reads, table-page updates and
+sequential log appends; :class:`MiniOLTPEngine` reproduces that mix with
+per-benchmark transaction shapes.
+"""
+
+from repro.workloads.oltp.engine import MiniOLTPEngine, OLTPResult, TransactionProfile
+from repro.workloads.oltp.benchmarks import TATP, TPCB, TPCC
+
+__all__ = [
+    "MiniOLTPEngine",
+    "OLTPResult",
+    "TransactionProfile",
+    "TPCC",
+    "TPCB",
+    "TATP",
+]

@@ -1,0 +1,41 @@
+"""Transaction shapes for the paper's three OLTP benchmarks.
+
+Page-level footprints approximating each benchmark's character:
+
+* TPC-C — heavyweight order-processing transactions: many reads and
+  updates across warehouse/district/stock pages plus multi-page log
+  records.  Lowest TPS of the three (the paper reports 6.3K).
+* TPC-B — the classic debit/credit stress test: a handful of page
+  touches per transaction (31.1K TPS in the paper).
+* TATP — telecom subscriber lookups: overwhelmingly read-only with
+  tiny occasional updates (122.3K TPS in the paper).
+"""
+
+from repro.workloads.oltp.engine import TransactionProfile
+
+TPCC = TransactionProfile(
+    name="TPCC",
+    page_reads=8,
+    page_writes=5,
+    log_appends=2,
+    write_probability=0.92,
+    think_us=150,
+)
+
+TPCB = TransactionProfile(
+    name="TPCB",
+    page_reads=3,
+    page_writes=3,
+    log_appends=1,
+    write_probability=1.0,
+    think_us=60,
+)
+
+TATP = TransactionProfile(
+    name="TATP",
+    page_reads=1,
+    page_writes=1,
+    log_appends=1,
+    write_probability=0.2,
+    think_us=15,
+)

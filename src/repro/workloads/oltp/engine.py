@@ -1,0 +1,127 @@
+"""Page-level OLTP storage engine over a file-system substrate.
+
+Tables live in one data file accessed with strong skew (OLTP working
+sets are hot); every transaction appends to a write-ahead log file.
+Updates mutate a small fraction of each page, giving the 0.12-0.23 delta
+compression ratios the paper measures for database workloads.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.common.units import SECOND_US
+from repro.workloads.content import ContentFactory
+
+
+@dataclass(frozen=True)
+class TransactionProfile:
+    """Page-level shape of one transaction type."""
+
+    name: str
+    page_reads: int
+    page_writes: int
+    log_appends: int
+    write_probability: float = 1.0  # fraction of txns that write at all
+    think_us: int = 100
+
+
+@dataclass
+class OLTPResult:
+    benchmark: str
+    transactions: int
+    elapsed_us: int
+    pages_read: int
+    pages_written: int
+    log_pages: int
+
+    @property
+    def tps(self):
+        return self.transactions * SECOND_US / max(1, self.elapsed_us)
+
+
+class MiniOLTPEngine:
+    """Executes a transaction profile against a table + log file pair."""
+
+    def __init__(
+        self,
+        fs,
+        table_pages=512,
+        seed=0,
+        mutation_fraction=0.08,
+        carry_content=True,
+        hot_fraction=0.2,
+    ):
+        self.fs = fs
+        self.table_pages = table_pages
+        self.hot_pages = max(1, int(table_pages * hot_fraction))
+        self._rng = random.Random(seed)
+        self._content = (
+            ContentFactory(fs.page_size, self._rng, mutation_fraction)
+            if carry_content
+            else None
+        )
+        self._log_page = 0
+        self._loaded = False
+
+    TABLE = "oltp_table.db"
+    LOG = "oltp_wal.log"
+
+    def load(self):
+        """Create and populate the table and log files."""
+        fs = self.fs
+        for name in (self.TABLE, self.LOG):
+            if not fs.exists(name):
+                fs.create(name)
+        for page in range(self.table_pages):
+            fs.write_pages(self.TABLE, page, 1, [self._table_payload(page)])
+        self._loaded = True
+
+    def _table_payload(self, page):
+        if self._content is None:
+            return None
+        return self._content.mutate(("table", page))
+
+    def _log_payload(self):
+        if self._content is None:
+            return None
+        # Log pages are fresh every time (appends, no locality).
+        return self._content.incompressible()
+
+    def _pick_page(self):
+        """Zipf-ish: 80% of accesses hit the hot region."""
+        if self._rng.random() < 0.8:
+            return self._rng.randrange(self.hot_pages)
+        return self.hot_pages + self._rng.randrange(
+            max(1, self.table_pages - self.hot_pages)
+        )
+
+    def run(self, profile, transactions=500):
+        """Run ``transactions`` of ``profile``; returns :class:`OLTPResult`."""
+        if not self._loaded:
+            self.load()
+        fs = self.fs
+        rng = self._rng
+        reads = writes = logs = 0
+        start = fs.ssd.clock.now_us
+        for _ in range(transactions):
+            for _ in range(profile.page_reads):
+                fs.read_pages(self.TABLE, self._pick_page(), 1)
+                reads += 1
+            if rng.random() < profile.write_probability:
+                for _ in range(profile.page_writes):
+                    page = self._pick_page()
+                    fs.write_pages(self.TABLE, page, 1, [self._table_payload(page)])
+                    writes += 1
+                for _ in range(profile.log_appends):
+                    fs.write_pages(self.LOG, self._log_page, 1, [self._log_payload()])
+                    self._log_page += 1
+                    logs += 1
+            fs.ssd.clock.advance(profile.think_us)
+        return OLTPResult(
+            benchmark=profile.name,
+            transactions=transactions,
+            elapsed_us=fs.ssd.clock.now_us - start,
+            pages_read=reads,
+            pages_written=writes,
+            log_pages=logs,
+        )

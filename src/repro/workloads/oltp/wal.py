@@ -1,0 +1,275 @@
+"""A small but real transactional storage manager.
+
+The paper's OLTP numbers come from Shore-MT — a storage manager with a
+buffer pool, a write-ahead log and crash recovery.  The page-mix
+generator in :mod:`repro.workloads.oltp.engine` reproduces Shore-MT's
+*I/O shape*; this module reproduces its *semantics*: transactions are
+atomic and durable across a crash, implemented with redo-only WAL and
+page-level buffering, all on top of the simulated file systems/SSDs.
+
+Log records are serialized to real bytes, so the engine runs unchanged
+over a TimeSSD in REAL content mode — which also makes for a neat
+demonstration: the same database can be recovered either via its own
+WAL (software) or via TimeKits (firmware time travel).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ReproError
+
+_RECORD_SEP = b"\x1e"
+_FIELD_SEP = b"\x1f"
+
+
+@dataclass
+class LogRecord:
+    """One redo record: transaction, page, full after-image."""
+
+    lsn: int
+    txn_id: int
+    kind: str  # "update", "commit", "checkpoint"
+    page_index: int = -1
+    after_image: bytes = b""
+
+    def encode(self):
+        return _FIELD_SEP.join(
+            [
+                b"%d" % self.lsn,
+                b"%d" % self.txn_id,
+                self.kind.encode(),
+                b"%d" % self.page_index,
+                self.after_image.hex().encode(),
+            ]
+        )
+
+    @classmethod
+    def decode(cls, blob):
+        parts = blob.split(_FIELD_SEP)
+        if len(parts) != 5:
+            raise ReproError("corrupt WAL record")
+        return cls(
+            lsn=int(parts[0]),
+            txn_id=int(parts[1]),
+            kind=parts[2].decode(),
+            page_index=int(parts[3]),
+            after_image=bytes.fromhex(parts[4].decode()),
+        )
+
+
+class WriteAheadLog:
+    """Append-only redo log stored in a file, flushed at commit."""
+
+    def __init__(self, fs, name="engine_wal.log"):
+        self.fs = fs
+        self.name = name
+        if not fs.exists(name):
+            fs.create(name)
+        self._next_lsn = 1
+        self._pending = []  # encoded records not yet on the device
+        self._log_page = 0
+        self._buffer = b""
+        self.flushes = 0
+
+    def append(self, txn_id, kind, page_index=-1, after_image=b""):
+        record = LogRecord(self._next_lsn, txn_id, kind, page_index, after_image)
+        self._next_lsn += 1
+        self._pending.append(record.encode())
+        return record.lsn
+
+    def flush(self):
+        """Force pending records to the device (commit durability)."""
+        if not self._pending:
+            return
+        self._buffer += _RECORD_SEP.join(self._pending) + _RECORD_SEP
+        self._pending = []
+        page_size = self.fs.page_size
+        while self._buffer:
+            chunk = self._buffer[:page_size].ljust(page_size, b"\x00")
+            self.fs.write_pages(self.name, self._log_page, 1, [chunk])
+            if len(self._buffer) > page_size:
+                self._buffer = self._buffer[page_size:]
+                self._log_page += 1
+            else:
+                # Partially filled tail page: rewritten on next flush.
+                self._buffer = self._buffer.rstrip(b"\x00")
+                break
+        self.flushes += 1
+
+    def records(self):
+        """Read back durable records (used by recovery).
+
+        Like real ARIES, a torn or corrupted record ends the usable log:
+        everything before it replays, everything after is untrusted.
+        """
+        raw = b""
+        for page in range(self._log_page + 1):
+            raw += self.fs.read_pages(self.name, page, 1)[0]
+        out = []
+        for blob in raw.rstrip(b"\x00").split(_RECORD_SEP):
+            if not blob:
+                continue
+            try:
+                record = LogRecord.decode(blob)
+            except (ReproError, ValueError):
+                break
+            if record.lsn != len(out) + 1 and out and record.lsn != out[-1].lsn + 1:
+                break  # LSN discontinuity: trailing garbage
+            out.append(record)
+        return out
+
+
+class BufferPool:
+    """Page cache over a table file with LRU eviction.
+
+    Dirty evictions write through; clean evictions are free — the
+    classic no-force/steal policy WAL makes safe.
+    """
+
+    def __init__(self, fs, name="engine_table.db", capacity=32, table_pages=256):
+        self.fs = fs
+        self.name = name
+        self.capacity = capacity
+        self.table_pages = table_pages
+        if not fs.exists(name):
+            fs.create(name)
+            empty = bytes(fs.page_size)
+            for page in range(table_pages):
+                fs.write_pages(name, page, 1, [empty])
+        self._cache = {}  # page -> bytes
+        self._dirty = set()
+        self._order = []  # LRU order, most recent last
+        self.hits = 0
+        self.misses = 0
+
+    def _touch(self, page):
+        if page in self._order:
+            self._order.remove(page)
+        self._order.append(page)
+
+    def get(self, page):
+        if page in self._cache:
+            self.hits += 1
+            self._touch(page)
+            return self._cache[page]
+        self.misses += 1
+        data = self.fs.read_pages(self.name, page, 1)[0]
+        self._install(page, data)
+        return data
+
+    def put(self, page, data):
+        """Install new page content (dirty; flushed on eviction/checkpoint)."""
+        self._install(page, data, dirty=True)
+
+    def _install(self, page, data, dirty=False):
+        self._cache[page] = data
+        if dirty:
+            self._dirty.add(page)
+        self._touch(page)
+        while len(self._cache) > self.capacity:
+            victim = self._order.pop(0)
+            if victim in self._dirty:
+                self.fs.write_pages(self.name, victim, 1, [self._cache[victim]])
+                self._dirty.discard(victim)
+            del self._cache[victim]
+
+    def flush_all(self):
+        for page in sorted(self._dirty):
+            self.fs.write_pages(self.name, page, 1, [self._cache[page]])
+        self._dirty.clear()
+
+    def drop_volatile(self):
+        """Simulate power loss: every cached (incl. dirty) page vanishes."""
+        self._cache.clear()
+        self._dirty.clear()
+        self._order.clear()
+
+
+class TransactionalEngine:
+    """Atomic, durable page transactions: begin / read / write / commit."""
+
+    def __init__(self, fs, table_pages=256, buffer_capacity=32, checkpoint_every=16):
+        self.fs = fs
+        self.wal = WriteAheadLog(fs)
+        self.pool = BufferPool(fs, capacity=buffer_capacity, table_pages=table_pages)
+        self.checkpoint_every = checkpoint_every
+        self._next_txn = 1
+        self._active = {}  # txn_id -> {page: after_image}
+        self.committed = 0
+        self.checkpoints = 0
+
+    # --- Transactions -------------------------------------------------------------
+
+    def begin(self):
+        txn_id = self._next_txn
+        self._next_txn += 1
+        self._active[txn_id] = {}
+        return txn_id
+
+    def read(self, txn_id, page):
+        self._check(txn_id)
+        pending = self._active[txn_id].get(page)
+        return pending if pending is not None else self.pool.get(page)
+
+    def write(self, txn_id, page, data):
+        self._check(txn_id)
+        if len(data) != self.fs.page_size:
+            raise ReproError("engine writes are page-sized")
+        self._active[txn_id][page] = bytes(data)
+
+    def commit(self, txn_id):
+        """WAL the after-images, flush the log, then apply to the pool."""
+        self._check(txn_id)
+        writes = self._active.pop(txn_id)
+        for page, data in sorted(writes.items()):
+            self.wal.append(txn_id, "update", page, data)
+        self.wal.append(txn_id, "commit")
+        self.wal.flush()
+        for page, data in writes.items():
+            self.pool.put(page, data)
+        self.committed += 1
+        if self.committed % self.checkpoint_every == 0:
+            self.checkpoint()
+
+    def abort(self, txn_id):
+        self._check(txn_id)
+        del self._active[txn_id]
+
+    def checkpoint(self):
+        self.pool.flush_all()
+        self.wal.append(0, "checkpoint")
+        self.wal.flush()
+        self.checkpoints += 1
+
+    def _check(self, txn_id):
+        if txn_id not in self._active:
+            raise ReproError("no such active transaction: %r" % txn_id)
+
+    # --- Crash & recovery -------------------------------------------------------------
+
+    def crash(self):
+        """Power loss: in-flight transactions and the buffer pool vanish."""
+        self._active.clear()
+        self.pool.drop_volatile()
+
+    def recover(self):
+        """Redo-only ARIES-lite: replay committed updates since the last
+        checkpoint; uncommitted updates never reached the WAL at all
+        (commit-time logging), so no undo pass is needed.
+
+        Returns the number of pages redone.
+        """
+        records = self.wal.records()
+        last_checkpoint = 0
+        for i, record in enumerate(records):
+            if record.kind == "checkpoint":
+                last_checkpoint = i
+        committed = {
+            r.txn_id for r in records if r.kind == "commit"
+        }
+        redone = 0
+        for record in records[last_checkpoint:]:
+            if record.kind == "update" and record.txn_id in committed:
+                self.pool.put(record.page_index, record.after_image)
+                redone += 1
+        self.pool.flush_all()
+        return redone

@@ -1,0 +1,126 @@
+"""Statistical block-trace synthesizer.
+
+Generates multi-day traces with the properties the paper's experiments
+depend on: write/read mix, daily write turnover (what drives retention
+duration), hot/cold locality (what drives GC efficiency), sequential
+runs (what drives bloom-filter grouping), and diurnal idleness (what
+enables background compression).
+"""
+
+import math
+import random
+import zlib
+from dataclasses import dataclass
+
+from repro.common.units import DAY_US
+from repro.workloads.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class VolumeProfile:
+    """Statistical fingerprint of one traced volume."""
+
+    name: str
+    write_ratio: float
+    #: Fraction of the working set overwritten per day (write intensity).
+    daily_turnover: float
+    #: Fraction of the logical space the volume actually touches.
+    working_set: float
+    #: Hot/cold split: `hot_fraction` of pages receive `hot_access_prob`
+    #: of the accesses.
+    hot_fraction: float = 0.2
+    hot_access_prob: float = 0.8
+    #: Probability the next request continues a sequential run.
+    seq_prob: float = 0.3
+    #: Mean request size in pages (geometric).
+    req_pages_mean: float = 2.0
+    #: Day/night intensity modulation, 0 (flat) .. 1 (full swing).
+    diurnal_amplitude: float = 0.6
+    #: Probability that a request opens a back-to-back burst, and the
+    #: burst's geometric mean length.  Bursts are what put GC on the
+    #: foreground path — a purely Poisson trace leaves the device idle
+    #: enough that housekeeping is always free.
+    burst_prob: float = 0.05
+    burst_len_mean: float = 60.0
+    burst_gap_us: int = 400
+    description: str = ""
+
+
+def synthetic_trace(
+    profile,
+    logical_pages,
+    days,
+    seed=0,
+    intensity_scale=1.0,
+    max_requests=None,
+    working_pages=None,
+):
+    """Yield :class:`TraceRecord` covering ``days`` of simulated time.
+
+    ``intensity_scale`` multiplies the volume's write intensity —
+    benches use it to sweep load without changing the volume's shape.
+    ``working_pages`` overrides the profile's working-set size; the
+    capacity-usage experiments (50% vs 80% of the device) set it
+    explicitly.
+    """
+    if days <= 0:
+        raise ValueError("days must be positive")
+    # Stable per-volume salt (builtin hash() is randomized per process).
+    name_salt = zlib.crc32(profile.name.encode()) & 0xFFFF
+    rng = random.Random((seed << 16) ^ name_salt)
+    if working_pages is not None:
+        working = max(16, min(working_pages, logical_pages))
+    else:
+        working = max(16, int(logical_pages * profile.working_set))
+    hot_pages = max(1, int(working * profile.hot_fraction))
+    pages_per_req = max(1.0, profile.req_pages_mean)
+
+    writes_per_day = profile.daily_turnover * intensity_scale * working / pages_per_req
+    requests_per_day = max(1.0, writes_per_day / max(profile.write_ratio, 0.01))
+    # Each Poisson arrival spawns a burst with probability burst_prob, so
+    # scale the base rate to keep the daily volume on target.
+    burst_factor = 1.0 + profile.burst_prob * profile.burst_len_mean
+    base_rate_per_us = requests_per_day / DAY_US / burst_factor
+
+    t = 0.0
+    horizon = days * DAY_US
+    emitted = 0
+    seq_lpa = None
+    burst_remaining = 0
+    while t < horizon:
+        if burst_remaining > 0:
+            burst_remaining -= 1
+            t += rng.expovariate(1.0 / profile.burst_gap_us)
+        else:
+            # Diurnal inhomogeneous arrivals via per-event rate modulation.
+            phase = 2.0 * math.pi * ((t % DAY_US) / DAY_US)
+            rate = base_rate_per_us * (
+                1.0 + profile.diurnal_amplitude * math.sin(phase)
+            )
+            rate = max(rate, base_rate_per_us * 0.05)
+            t += rng.expovariate(rate)
+            if profile.burst_prob and rng.random() < profile.burst_prob:
+                burst_remaining = 1 + int(rng.expovariate(1.0 / profile.burst_len_mean))
+        if t >= horizon:
+            break
+        npages = min(16, 1 + int(rng.expovariate(1.0 / pages_per_req)))
+        if seq_lpa is not None and rng.random() < profile.seq_prob:
+            lpa = seq_lpa
+        elif rng.random() < profile.hot_access_prob:
+            lpa = rng.randrange(hot_pages)
+        else:
+            lpa = hot_pages + rng.randrange(max(1, working - hot_pages))
+        lpa = min(lpa, working - 1)
+        npages = min(npages, working - lpa)
+        op = "W" if rng.random() < profile.write_ratio else "R"
+        yield TraceRecord(int(t), op, lpa, npages)
+        seq_lpa = lpa + npages if lpa + npages < working else None
+        emitted += 1
+        if max_requests is not None and emitted >= max_requests:
+            break
+
+
+def trace_write_volume_pages(profile, logical_pages, days, intensity_scale=1.0):
+    """Expected pages written — used by benches to size devices."""
+    working = max(16, int(logical_pages * profile.working_set))
+    return int(profile.daily_turnover * intensity_scale * working * days)

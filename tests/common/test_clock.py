@@ -1,0 +1,50 @@
+import pytest
+
+from repro.common.clock import SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now_us == 0
+
+
+def test_starts_at_given_time():
+    assert SimClock(123).now_us == 123
+
+
+def test_rejects_negative_start():
+    with pytest.raises(ValueError):
+        SimClock(-1)
+
+
+def test_advance_moves_forward():
+    clock = SimClock()
+    assert clock.advance(10) == 10
+    assert clock.advance(5) == 15
+    assert clock.now_us == 15
+
+
+def test_advance_rejects_negative_delta():
+    with pytest.raises(ValueError):
+        SimClock().advance(-1)
+
+
+def test_advance_to_future():
+    clock = SimClock(100)
+    clock.advance_to(250)
+    assert clock.now_us == 250
+
+
+def test_advance_to_past_is_noop():
+    clock = SimClock(100)
+    clock.advance_to(50)
+    assert clock.now_us == 100
+
+
+def test_advance_zero_is_allowed():
+    clock = SimClock(7)
+    clock.advance(0)
+    assert clock.now_us == 7
+
+
+def test_repr_mentions_time():
+    assert "SimClock" in repr(SimClock(42))

@@ -1,0 +1,35 @@
+from repro.common.errors import (
+    AddressError,
+    DeviceFullError,
+    FileSystemError,
+    FlashStateError,
+    QueryError,
+    ReproError,
+    RetentionViolationError,
+)
+
+
+def test_hierarchy():
+    for cls in (
+        AddressError,
+        DeviceFullError,
+        FlashStateError,
+        QueryError,
+        FileSystemError,
+    ):
+        assert issubclass(cls, ReproError)
+    # The retention alarm is a species of "device full".
+    assert issubclass(RetentionViolationError, DeviceFullError)
+
+
+def test_retention_violation_carries_context():
+    err = RetentionViolationError("stop", oldest_retained_us=5, floor_us=10)
+    assert err.oldest_retained_us == 5
+    assert err.floor_us == 10
+    assert "stop" in str(err)
+
+
+def test_retention_violation_context_optional():
+    err = RetentionViolationError("stop")
+    assert err.oldest_retained_us is None
+    assert err.floor_us is None

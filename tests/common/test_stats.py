@@ -1,0 +1,87 @@
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import LatencyStats, RunningMean
+
+
+class TestRunningMean:
+    def test_empty(self):
+        rm = RunningMean()
+        assert rm.count == 0
+        assert rm.mean == 0.0
+        assert rm.variance == 0.0
+
+    def test_single_value(self):
+        rm = RunningMean()
+        rm.add(5.0)
+        assert rm.mean == 5.0
+        assert rm.variance == 0.0
+
+    def test_matches_batch_mean(self):
+        values = [1.0, 2.0, 3.5, -4.0, 10.0]
+        rm = RunningMean()
+        for v in values:
+            rm.add(v)
+        assert rm.mean == pytest.approx(sum(values) / len(values))
+
+    def test_matches_batch_variance(self):
+        rng = random.Random(11)
+        values = [rng.gauss(10, 3) for _ in range(500)]
+        rm = RunningMean()
+        for v in values:
+            rm.add(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert rm.variance == pytest.approx(var, rel=1e-9)
+        assert rm.stdev == pytest.approx(math.sqrt(var), rel=1e-9)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    def test_mean_within_bounds(self, values):
+        rm = RunningMean()
+        for v in values:
+            rm.add(v)
+        assert min(values) - 1e-6 <= rm.mean <= max(values) + 1e-6
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        ls = LatencyStats()
+        assert ls.count == 0
+        assert ls.mean_us == 0.0
+        assert ls.percentile(50) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyStats().record(-1)
+
+    def test_mean_and_max(self):
+        ls = LatencyStats()
+        for v in (10, 20, 30):
+            ls.record(v)
+        assert ls.mean_us == pytest.approx(20)
+        assert ls.max_us == 30
+        assert ls.total_us == 60
+
+    def test_percentiles_ordered(self):
+        ls = LatencyStats()
+        for v in range(1000):
+            ls.record(v)
+        assert ls.percentile(10) <= ls.percentile(50) <= ls.percentile(99)
+
+    def test_percentile_bounds_checked(self):
+        ls = LatencyStats()
+        ls.record(5)
+        with pytest.raises(ValueError):
+            ls.percentile(101)
+        with pytest.raises(ValueError):
+            ls.percentile(-1)
+
+    def test_reservoir_with_rng_does_not_grow(self):
+        ls = LatencyStats(rng=random.Random(3))
+        for v in range(LatencyStats.RESERVOIR_SIZE * 2):
+            ls.record(v)
+        assert len(ls._reservoir) == LatencyStats.RESERVOIR_SIZE
+        assert ls.count == LatencyStats.RESERVOIR_SIZE * 2

@@ -1,0 +1,65 @@
+import pytest
+
+from repro.common.units import (
+    DAY_US,
+    GIB,
+    HOUR_US,
+    KIB,
+    MIB,
+    MINUTE_US,
+    MS_US,
+    SECOND_US,
+    format_bytes,
+    format_duration,
+)
+
+
+def test_size_constants_are_consistent():
+    assert MIB == 1024 * KIB
+    assert GIB == 1024 * MIB
+
+
+def test_time_constants_are_consistent():
+    assert SECOND_US == 1000 * MS_US
+    assert MINUTE_US == 60 * SECOND_US
+    assert HOUR_US == 60 * MINUTE_US
+    assert DAY_US == 24 * HOUR_US
+
+
+@pytest.mark.parametrize(
+    "n,expected",
+    [
+        (0, "0 B"),
+        (512, "512 B"),
+        (KIB, "1.00 KiB"),
+        (3 * MIB, "3.00 MiB"),
+        (2 * GIB, "2.00 GiB"),
+    ],
+)
+def test_format_bytes(n, expected):
+    assert format_bytes(n) == expected
+
+
+def test_format_bytes_rejects_negative():
+    with pytest.raises(ValueError):
+        format_bytes(-1)
+
+
+@pytest.mark.parametrize(
+    "us,expected",
+    [
+        (0, "0 us"),
+        (999, "999 us"),
+        (MS_US, "1.000 ms"),
+        (SECOND_US, "1.000 s"),
+        (90 * MINUTE_US, "1.50 h"),
+        (36 * HOUR_US, "1.50 days"),
+    ],
+)
+def test_format_duration(us, expected):
+    assert format_duration(us) == expected
+
+
+def test_format_duration_rejects_negative():
+    with pytest.raises(ValueError):
+        format_duration(-5)

@@ -1,0 +1,70 @@
+"""Shared fixtures: small device geometries so tests run in milliseconds."""
+
+import random
+
+import pytest
+
+from repro.common.units import SECOND_US
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FlashTiming
+from repro.ftl.ssd import RegularSSD, SSDConfig
+from repro.timessd.config import ContentMode, TimeSSDConfig
+from repro.timessd.ssd import TimeSSD
+
+
+def small_geometry(**overrides):
+    params = dict(
+        channels=4,
+        chips_per_channel=1,
+        planes_per_chip=1,
+        blocks_per_plane=16,
+        pages_per_block=16,
+        page_size=512,
+    )
+    params.update(overrides)
+    return FlashGeometry(**params)
+
+
+def make_regular_ssd(**config_overrides):
+    params = dict(geometry=small_geometry())
+    params.update(config_overrides)
+    return RegularSSD(SSDConfig(**params))
+
+
+def make_timessd(**config_overrides):
+    params = dict(
+        geometry=small_geometry(),
+        retention_floor_us=2 * SECOND_US,
+        bloom_capacity=128,
+        bloom_segment_max_age_us=SECOND_US // 2,
+        content_mode=ContentMode.MODELED,
+    )
+    params.update(config_overrides)
+    return TimeSSD(TimeSSDConfig(**params))
+
+
+def fill_and_churn(ssd, working_set, churn_writes, seed=7, gap_us=1500):
+    """Sequential fill then uniform-random overwrites with a fixed seed."""
+    rng = random.Random(seed)
+    for lpa in range(working_set):
+        ssd.write(lpa)
+        ssd.clock.advance(gap_us)
+    for _ in range(churn_writes):
+        ssd.write(rng.randrange(working_set))
+        ssd.clock.advance(gap_us)
+    return ssd
+
+
+@pytest.fixture
+def geometry():
+    return small_geometry()
+
+
+@pytest.fixture
+def regular_ssd():
+    return make_regular_ssd()
+
+
+@pytest.fixture
+def timessd():
+    return make_timessd()

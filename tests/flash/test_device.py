@@ -1,0 +1,87 @@
+import pytest
+
+from repro.common.errors import FlashStateError
+from repro.flash.device import FlashDevice
+from repro.flash.page import NULL_PPA, OOBMetadata, PageState
+from repro.flash.timing import FlashTiming
+
+from tests.conftest import small_geometry
+
+
+@pytest.fixture
+def device():
+    return FlashDevice(small_geometry(), FlashTiming())
+
+
+def oob(lpa=0):
+    return OOBMetadata(lpa=lpa, back_pointer=NULL_PPA, timestamp_us=0)
+
+
+def test_program_then_read_roundtrip(device):
+    complete = device.program_page(0, b"hello", oob(lpa=9), now_us=0)
+    assert complete == device.timing.program_us
+    result = device.read_page(0, now_us=complete)
+    assert result.data == b"hello"
+    assert result.oob.lpa == 9
+    assert result.complete_us == complete + device.timing.read_us
+
+
+def test_counters_track_operations(device):
+    device.program_page(0, b"x", oob())
+    device.read_page(0)
+    device.erase_block(0)
+    c = device.counters
+    assert (c.page_programs, c.page_reads, c.block_erases) == (1, 1, 1)
+
+
+def test_program_out_of_order_within_block_rejected(device):
+    with pytest.raises(FlashStateError):
+        device.program_page(1, b"x", oob())  # page 0 not yet programmed
+
+
+def test_erase_enables_reprogramming(device):
+    device.program_page(0, b"x", oob())
+    device.erase_block(0)
+    device.program_page(0, b"y", oob())
+    assert device.read_page(0).data == b"y"
+
+
+def test_read_erased_page_rejected(device):
+    with pytest.raises(FlashStateError):
+        device.read_page(0)
+
+
+def test_ops_on_same_channel_serialize(device):
+    geo = device.geometry
+    # Block 0 and block `channels` share channel 0.
+    pba_a, pba_b = 0, geo.channels
+    ppa_a = geo.first_page_of_block(pba_a)
+    ppa_b = geo.first_page_of_block(pba_b)
+    t1 = device.program_page(ppa_a, b"a", oob(), now_us=0)
+    t2 = device.program_page(ppa_b, b"b", oob(), now_us=0)
+    assert t2 == t1 + device.timing.program_us
+
+
+def test_ops_on_distinct_channels_overlap(device):
+    geo = device.geometry
+    ppa_a = geo.first_page_of_block(0)  # channel 0
+    ppa_b = geo.first_page_of_block(1)  # channel 1
+    t1 = device.program_page(ppa_a, b"a", oob(), now_us=0)
+    t2 = device.program_page(ppa_b, b"b", oob(), now_us=0)
+    assert t1 == t2 == device.timing.program_us
+
+
+def test_peek_page_has_no_cost(device):
+    device.program_page(0, b"x", oob())
+    before = device.counters.page_reads
+    page = device.peek_page(0)
+    assert page.state is PageState.PROGRAMMED
+    assert device.counters.page_reads == before
+
+
+def test_block_erase_counts_roundtrip(device):
+    device.program_page(0, b"x", oob())
+    device.erase_block(0)
+    counts = device.block_erase_counts()
+    assert counts[0] == 1
+    assert sum(counts) == 1

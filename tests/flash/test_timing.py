@@ -1,0 +1,67 @@
+import pytest
+
+from repro.common.errors import AddressError
+from repro.flash.timing import ChannelTimelines, FlashTiming
+
+
+def test_default_costs_positive():
+    t = FlashTiming()
+    assert t.read_us < t.program_us < t.erase_us
+
+
+def test_rejects_negative_costs():
+    with pytest.raises(ValueError):
+        FlashTiming(read_us=-1)
+
+
+class TestChannelTimelines:
+    def test_needs_channels(self):
+        with pytest.raises(ValueError):
+            ChannelTimelines(0)
+
+    def test_schedule_on_idle_channel(self):
+        tl = ChannelTimelines(2)
+        assert tl.schedule(0, now_us=100, latency_us=50) == 150
+        assert tl.busy_until(0) == 150
+
+    def test_back_to_back_ops_queue(self):
+        tl = ChannelTimelines(1)
+        tl.schedule(0, 0, 100)
+        # Second op at t=10 must wait for the first to finish.
+        assert tl.schedule(0, 10, 100) == 200
+
+    def test_channels_are_independent(self):
+        tl = ChannelTimelines(2)
+        tl.schedule(0, 0, 1000)
+        assert tl.schedule(1, 0, 100) == 100
+
+    def test_idle_gap_is_not_compressed(self):
+        tl = ChannelTimelines(1)
+        tl.schedule(0, 0, 10)
+        # Arriving later than busy_until starts at arrival time.
+        assert tl.schedule(0, 500, 10) == 510
+
+    def test_earliest_free(self):
+        tl = ChannelTimelines(3)
+        tl.schedule(0, 0, 100)
+        tl.schedule(1, 0, 50)
+        channel, free_at = tl.earliest_free(now_us=0)
+        assert channel == 2
+        assert free_at == 0
+
+    def test_all_idle_at(self):
+        tl = ChannelTimelines(2)
+        assert tl.all_idle_at(0)
+        tl.schedule(0, 0, 100)
+        assert not tl.all_idle_at(50)
+        assert tl.all_idle_at(100)
+
+    def test_bad_channel_rejected(self):
+        tl = ChannelTimelines(1)
+        with pytest.raises(AddressError):
+            tl.schedule(1, 0, 10)
+
+    def test_negative_latency_rejected(self):
+        tl = ChannelTimelines(1)
+        with pytest.raises(ValueError):
+            tl.schedule(0, 0, -1)

@@ -1,0 +1,127 @@
+"""Copy-on-write snapshotting FS (the software-versioning comparator)."""
+
+import pytest
+
+from repro.common.errors import FileSystemError
+from repro.fs.cow import CowFS
+
+from tests.conftest import make_regular_ssd, small_geometry
+
+
+@pytest.fixture
+def fs():
+    return CowFS(make_regular_ssd(geometry=small_geometry(blocks_per_plane=96)))
+
+
+def page(fs, text):
+    return text.encode().ljust(fs.page_size, b"\0")
+
+
+def test_plain_use_without_snapshots_overwrites_in_place(fs):
+    fs.create("f")
+    fs.write("f", 0, page(fs, "v1"))
+    lpa = fs.file_lpas("f")[0]
+    fs.write("f", 0, page(fs, "v2"))
+    assert fs.file_lpas("f")[0] == lpa  # no snapshot -> no COW
+    assert fs.retained_version_pages() == 0
+
+
+def test_snapshot_triggers_cow(fs):
+    fs.create("f")
+    fs.write("f", 0, page(fs, "v1"))
+    old_lpa = fs.file_lpas("f")[0]
+    snap = fs.snapshot()
+    fs.write("f", 0, page(fs, "v2"))
+    assert fs.file_lpas("f")[0] != old_lpa
+    assert fs.read("f", 0, 2) == b"v2"
+    assert fs.read_at("f", snap, 0, 2) == b"v1"
+    assert fs.retained_version_pages() == 1
+
+
+def test_one_cow_per_epoch(fs):
+    fs.create("f")
+    fs.write("f", 0, page(fs, "v1"))
+    fs.snapshot()
+    fs.write("f", 0, page(fs, "v2"))
+    lpa = fs.file_lpas("f")[0]
+    fs.write("f", 0, page(fs, "v3"))  # same epoch: in place
+    assert fs.file_lpas("f")[0] == lpa
+    assert fs.retained_version_pages() == 1
+
+
+def test_multiple_snapshots_keep_distinct_versions(fs):
+    fs.create("f")
+    snaps = []
+    for i in range(4):
+        fs.write("f", 0, page(fs, "gen%d" % i))
+        snaps.append(fs.snapshot())
+    fs.write("f", 0, page(fs, "final"))
+    for i, snap in enumerate(snaps):
+        assert fs.read_at("f", snap, 0, 4) == (b"gen%d" % i)
+    assert fs.read("f", 0, 5) == b"final"
+
+
+def test_delete_snapshot_frees_unreferenced_versions(fs):
+    fs.create("f")
+    fs.write("f", 0, page(fs, "v1"))
+    snap = fs.snapshot()
+    fs.write("f", 0, page(fs, "v2"))
+    assert fs.retained_version_pages() == 1
+    free_before = fs.allocator.free_count
+    fs.delete_snapshot(snap)
+    assert fs.retained_version_pages() == 0
+    assert fs.allocator.free_count == free_before + 1
+
+
+def test_shared_version_survives_partial_snapshot_deletion(fs):
+    fs.create("f")
+    fs.write("f", 0, page(fs, "v1"))
+    snap_a = fs.snapshot()
+    snap_b = fs.snapshot()
+    fs.write("f", 0, page(fs, "v2"))
+    fs.delete_snapshot(snap_a)
+    # snap_b still needs v1.
+    assert fs.read_at("f", snap_b, 0, 2) == b"v1"
+
+
+def test_restore_from_snapshot(fs):
+    fs.create("f")
+    fs.write("f", 0, page(fs, "good"))
+    snap = fs.snapshot()
+    fs.write("f", 0, page(fs, "bad!"))
+    fs.restore_from_snapshot("f", snap)
+    assert fs.read("f", 0, 4) == b"good"
+
+
+def test_unknown_snapshot_rejected(fs):
+    fs.create("f")
+    with pytest.raises(FileSystemError):
+        fs.read_at("f", 99, 0, 1)
+    with pytest.raises(FileSystemError):
+        fs.delete_snapshot(99)
+
+
+def test_kernel_attacker_can_destroy_software_history(fs):
+    """The paper's motivation, demonstrated: host software retention
+    dies with one privileged call — unlike TimeSSD's firmware history."""
+    fs.create("f")
+    fs.write("f", 0, page(fs, "precious"))
+    snap = fs.snapshot()
+    fs.write("f", 0, page(fs, "ENCRYPTED"))
+    # Attacker holds kernel privileges: delete the snapshot.
+    fs.delete_snapshot(snap)
+    assert fs.retained_version_pages() == 0
+    with pytest.raises(FileSystemError):
+        fs.read_at("f", snap, 0, 8)
+
+
+def test_snapshot_history_costs_full_pages(fs):
+    """Software versioning pays one full page per retained version —
+    no delta compression below the FS."""
+    fs.create("f")
+    fs.write("f", 0, page(fs, "x" * 16))
+    used_before = fs.allocator.used_count
+    for i in range(5):
+        fs.snapshot()
+        fs.write("f", 0, page(fs, "x" * 16 + str(i)))  # tiny change
+    assert fs.allocator.used_count == used_before + 5

@@ -1,0 +1,90 @@
+"""Hypothesis stateful test: each FS flavour vs a perfect dict model."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.common.errors import FileSystemError
+from repro.fs import CowFS, JournalingFS, LogStructuredFS, PlainFS
+
+from tests.conftest import make_regular_ssd, small_geometry
+
+NAMES = st.sampled_from(["a", "b", "c", "d"])
+OFFSETS = st.integers(min_value=0, max_value=3 * 512)
+SIZES = st.integers(min_value=1, max_value=700)
+BYTES = st.integers(min_value=1, max_value=255)
+
+
+class _FSMachine(RuleBasedStateMachine):
+    fs_cls = PlainFS
+
+    def __init__(self):
+        super().__init__()
+        ssd = make_regular_ssd(geometry=small_geometry(blocks_per_plane=96))
+        self.fs = self.fs_cls(ssd, max_files=16)
+        self.model = {}  # name -> bytearray
+
+    @rule(name=NAMES)
+    def create(self, name):
+        if name in self.model:
+            with pytest.raises(FileSystemError):
+                self.fs.create(name)
+            return
+        self.fs.create(name)
+        self.model[name] = bytearray()
+
+    @rule(name=NAMES, offset=OFFSETS, size=SIZES, fill=BYTES)
+    def write(self, name, offset, size, fill):
+        data = bytes([fill]) * size
+        if name not in self.model:
+            with pytest.raises(FileSystemError):
+                self.fs.write(name, offset, data)
+            return
+        self.fs.write(name, offset, data)
+        shadow = self.model[name]
+        if len(shadow) < offset + size:
+            shadow.extend(bytes(offset + size - len(shadow)))
+        shadow[offset : offset + size] = data
+        self.fs.ssd.clock.advance(500)
+
+    @rule(name=NAMES)
+    def delete(self, name):
+        if name not in self.model:
+            with pytest.raises(FileSystemError):
+                self.fs.delete(name)
+            return
+        self.fs.delete(name)
+        del self.model[name]
+
+    @rule(name=NAMES, offset=OFFSETS, size=SIZES)
+    def read_matches_model(self, name, offset, size):
+        if name not in self.model:
+            return
+        got = self.fs.read(name, offset, size)
+        shadow = self.model[name]
+        expected = bytes(shadow[offset : offset + size])
+        assert got == expected
+
+    @rule(name=NAMES)
+    def size_matches_model(self, name):
+        if name not in self.model:
+            return
+        assert self.fs.file_size(name) == len(self.model[name])
+
+    @invariant()
+    def namespace_matches(self):
+        assert set(self.fs.list_files()) == set(self.model)
+
+
+def _machine_for(cls):
+    machine = type("%sMachine" % cls.__name__, (_FSMachine,), {"fs_cls": cls})
+    case = machine.TestCase
+    case.settings = settings(max_examples=15, stateful_step_count=30, deadline=None)
+    return case
+
+
+TestPlainFSStateful = _machine_for(PlainFS)
+TestJournalingFSStateful = _machine_for(JournalingFS)
+TestLogStructuredFSStateful = _machine_for(LogStructuredFS)
+TestCowFSStateful = _machine_for(CowFS)

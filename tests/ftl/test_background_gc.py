@@ -1,0 +1,52 @@
+"""Idle-window background GC at the base-FTL level."""
+
+import random
+
+import pytest
+
+from tests.conftest import make_regular_ssd
+
+
+def gappy_churn(ssd, writes=4000, gap_us=30_000, seed=8):
+    rng = random.Random(seed)
+    working = ssd.logical_pages // 2
+    for lpa in range(working):
+        ssd.write(lpa)
+    for _ in range(writes):
+        ssd.write(rng.randrange(working))
+        ssd.clock.advance(gap_us)
+
+
+def test_idle_gaps_absorb_gc():
+    ssd = make_regular_ssd()
+    gappy_churn(ssd)
+    assert ssd.background_gc_runs > 0
+    # With long predictable gaps, foreground GC nearly disappears.
+    assert ssd.gc_runs < ssd.background_gc_runs / 4
+
+
+def test_background_gc_can_be_disabled():
+    ssd = make_regular_ssd(background_gc=False)
+    gappy_churn(ssd)
+    assert ssd.background_gc_runs == 0
+    assert ssd.gc_runs > 0  # the work moved to the foreground
+
+
+def test_background_gc_improves_write_latency():
+    with_bg = make_regular_ssd()
+    without_bg = make_regular_ssd(background_gc=False)
+    gappy_churn(with_bg)
+    gappy_churn(without_bg)
+    assert with_bg.write_latency.mean_us <= without_bg.write_latency.mean_us
+
+
+def test_back_to_back_traffic_gets_no_background_gc():
+    ssd = make_regular_ssd()
+    rng = random.Random(8)
+    working = ssd.logical_pages // 2
+    for lpa in range(working):
+        ssd.write(lpa)
+    for _ in range(3000):
+        ssd.write(rng.randrange(working))  # zero think time
+    assert ssd.background_gc_runs == 0
+    assert ssd.gc_runs > 0

@@ -1,0 +1,153 @@
+import pytest
+
+from repro.common.errors import DeviceFullError
+from repro.flash.device import FlashDevice
+from repro.flash.page import NULL_PPA, OOBMetadata
+from repro.ftl.block_manager import BlockKind, BlockManager, StreamId
+
+from tests.conftest import small_geometry
+
+
+@pytest.fixture
+def bm():
+    return BlockManager(FlashDevice(small_geometry()))
+
+
+def program(bm, ppa, lpa=0):
+    bm.device.program_page(ppa, b"d", OOBMetadata(lpa, NULL_PPA, 0))
+    bm.mark_valid(ppa)
+
+
+def test_all_blocks_start_free(bm):
+    assert bm.free_block_count == bm.device.geometry.total_blocks
+
+
+def test_allocation_consumes_blocks_lazily(bm):
+    geo = bm.device.geometry
+    ppb = geo.pages_per_block
+    channels = geo.channels
+    # Striped user allocation opens one append block per channel, then
+    # fills them all before opening more.
+    for _ in range(channels * ppb):
+        program(bm, bm.allocate_page(StreamId.USER))
+    assert bm.free_block_count == geo.total_blocks - channels
+    program(bm, bm.allocate_page(StreamId.USER))
+    assert bm.free_block_count == geo.total_blocks - channels - 1
+
+
+def test_unstriped_stream_fills_one_block_at_a_time(bm):
+    geo = bm.device.geometry
+    key = ("delta", 0)
+    for _ in range(geo.pages_per_block):
+        ppa = bm.allocate_page_keyed(key, BlockKind.DELTA)
+        bm.device.program_page(ppa, b"d", OOBMetadata(0, NULL_PPA, 0))
+    assert bm.free_block_count == geo.total_blocks - 1
+
+
+def test_streams_use_distinct_blocks(bm):
+    a = bm.allocate_page(StreamId.USER)
+    program(bm, a)
+    b = bm.allocate_page(StreamId.GC)
+    geo = bm.device.geometry
+    assert geo.block_of_page(a) != geo.block_of_page(b)
+
+
+def test_allocation_stripes_channels(bm):
+    geo = bm.device.geometry
+    ppb = geo.pages_per_block
+    channels = []
+    for _ in range(4 * ppb):
+        ppa = bm.allocate_page(StreamId.USER)
+        program(bm, ppa)
+        channels.append(geo.channel_of_page(ppa))
+    # Four full blocks worth: all channels used.
+    assert set(channels) == set(range(geo.channels))
+
+
+def test_validity_tracking(bm):
+    ppa = bm.allocate_page(StreamId.USER)
+    program(bm, ppa)
+    assert bm.is_valid(ppa)
+    bm.invalidate_page(ppa)
+    assert not bm.is_valid(ppa)
+    pba = bm.device.geometry.block_of_page(ppa)
+    assert bm.invalid_count(pba) == 1
+    assert bm.valid_count(pba) == 0
+
+
+def test_double_invalidate_is_idempotent(bm):
+    ppa = bm.allocate_page(StreamId.USER)
+    program(bm, ppa)
+    bm.invalidate_page(ppa)
+    bm.invalidate_page(ppa)
+    pba = bm.device.geometry.block_of_page(ppa)
+    assert bm.valid_count(pba) == 0
+
+
+def test_greedy_victim_prefers_most_invalid(bm):
+    geo = bm.device.geometry
+    ppb = geo.pages_per_block
+    # Fill two blocks via unstriped streams so layout is deterministic;
+    # invalidate 1 page of the first, all of the second.
+    first_block, second_block = [], []
+    for _ in range(ppb):
+        ppa = bm.allocate_page_keyed("a", BlockKind.DATA)
+        program(bm, ppa)
+        first_block.append(ppa)
+    for _ in range(ppb):
+        ppa = bm.allocate_page_keyed("b", BlockKind.DATA)
+        program(bm, ppa)
+        second_block.append(ppa)
+    bm.invalidate_page(first_block[0])
+    for p in second_block:
+        bm.invalidate_page(p)
+    victim = bm.select_greedy_victim(BlockKind.DATA)
+    assert victim == geo.block_of_page(second_block[0])
+
+
+def test_victim_ignores_active_blocks(bm):
+    ppa = bm.allocate_page(StreamId.USER)
+    program(bm, ppa)
+    bm.invalidate_page(ppa)
+    # Block not sealed -> not a victim.
+    assert bm.select_greedy_victim(BlockKind.DATA) is None
+
+
+def test_release_requires_no_valid_pages(bm):
+    geo = bm.device.geometry
+    for _ in range(geo.pages_per_block):
+        program(bm, bm.allocate_page(StreamId.USER))
+    pba = geo.block_of_page(0)
+    from repro.common.errors import AddressError
+
+    with pytest.raises(AddressError):
+        bm.release_block(pba)
+
+
+def test_exhaustion_raises(bm):
+    geo = bm.device.geometry
+    with pytest.raises(DeviceFullError):
+        for _ in range(geo.total_pages + 1):
+            program(bm, bm.allocate_page(StreamId.USER))
+
+
+def test_keyed_streams_are_independent(bm):
+    a = bm.allocate_page_keyed(("delta", 1), BlockKind.DELTA)
+    bm.device.program_page(a, b"d", OOBMetadata(0, NULL_PPA, 0))
+    b = bm.allocate_page_keyed(("delta", 2), BlockKind.DELTA)
+    geo = bm.device.geometry
+    assert geo.block_of_page(a) != geo.block_of_page(b)
+    assert bm.kind(geo.block_of_page(a)) is BlockKind.DELTA
+
+
+def test_close_stream_returns_active_block(bm):
+    a = bm.allocate_page_keyed(("delta", 1), BlockKind.DELTA)
+    pba = bm.device.geometry.block_of_page(a)
+    assert bm.close_stream(("delta", 1)) == pba
+    assert bm.close_stream(("delta", 1)) is None
+
+
+def test_utilization(bm):
+    assert bm.utilization() == 0.0
+    program(bm, bm.allocate_page(StreamId.USER))
+    assert bm.utilization() > 0.0

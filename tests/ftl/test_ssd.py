@@ -1,0 +1,142 @@
+import random
+
+import pytest
+
+from repro.common.errors import AddressError
+from repro.flash.page import NULL_PPA
+from repro.ftl.ssd import RegularSSD, SSDConfig
+
+from tests.conftest import fill_and_churn, make_regular_ssd, small_geometry
+
+
+def test_config_defaults():
+    cfg = SSDConfig(geometry=small_geometry())
+    assert 0 < cfg.logical_pages < cfg.geometry.total_pages
+    assert cfg.gc_low_watermark >= 4
+
+
+def test_config_rejects_bad_op_ratio():
+    with pytest.raises(ValueError):
+        SSDConfig(geometry=small_geometry(), op_ratio=0)
+
+
+def test_write_then_read_roundtrip(regular_ssd):
+    regular_ssd.write(5, b"payload")
+    data, response = regular_ssd.read(5)
+    assert data == b"payload"
+    assert response > 0
+
+
+def test_read_unwritten_returns_none(regular_ssd):
+    data, response = regular_ssd.read(9)
+    assert data is None
+    assert response == 0
+
+
+def test_overwrite_returns_latest(regular_ssd):
+    regular_ssd.write(5, b"v1")
+    regular_ssd.clock.advance(10)
+    regular_ssd.write(5, b"v2")
+    assert regular_ssd.read(5)[0] == b"v2"
+
+
+def test_trim_unmaps(regular_ssd):
+    regular_ssd.write(5, b"v1")
+    regular_ssd.trim(5)
+    assert regular_ssd.read(5)[0] is None
+
+
+def test_write_advances_clock(regular_ssd):
+    t0 = regular_ssd.clock.now_us
+    regular_ssd.write(0)
+    assert regular_ssd.clock.now_us >= t0 + regular_ssd.device.timing.program_us
+
+
+def test_oob_back_pointer_chains_versions(regular_ssd):
+    regular_ssd.write(7, b"v1")
+    ppa1 = regular_ssd.mapping.lookup(7)
+    regular_ssd.clock.advance(5)
+    regular_ssd.write(7, b"v2")
+    ppa2 = regular_ssd.mapping.lookup(7)
+    oob = regular_ssd.device.peek_page(ppa2).oob
+    assert oob.back_pointer == ppa1
+    assert oob.lpa == 7
+
+
+def test_write_amplification_starts_at_one(regular_ssd):
+    for lpa in range(20):
+        regular_ssd.write(lpa)
+    assert regular_ssd.write_amplification == pytest.approx(1.0)
+
+
+def test_gc_reclaims_space_under_churn():
+    ssd = make_regular_ssd()
+    fill_and_churn(ssd, working_set=ssd.logical_pages // 2, churn_writes=ssd.logical_pages * 3)
+    assert ssd.gc_runs > 0
+    assert ssd.block_manager.free_block_count > ssd.config.gc_low_watermark
+    assert ssd.write_amplification >= 1.0
+
+
+def test_gc_preserves_all_current_data():
+    ssd = make_regular_ssd()
+    rng = random.Random(4)
+    expected = {}
+    working = ssd.logical_pages // 2
+    for _ in range(ssd.logical_pages * 3):
+        lpa = rng.randrange(working)
+        payload = b"%d:%d" % (lpa, ssd.clock.now_us)
+        ssd.write(lpa, payload)
+        expected[lpa] = payload
+        ssd.clock.advance(100)
+    for lpa, payload in expected.items():
+        assert ssd.read(lpa)[0] == payload
+
+
+def test_latency_reflects_gc_pressure():
+    quiet = make_regular_ssd()
+    for lpa in range(100):
+        quiet.write(lpa)
+    busy = make_regular_ssd()
+    fill_and_churn(busy, busy.logical_pages // 2, busy.logical_pages * 4, gap_us=0)
+    assert busy.write_latency.mean_us > quiet.write_latency.mean_us
+
+
+def test_out_of_range_lpa_rejected(regular_ssd):
+    with pytest.raises(AddressError):
+        regular_ssd.write(regular_ssd.logical_pages)
+
+
+def test_write_range_and_read_range(regular_ssd):
+    pages = [b"a", b"b", b"c"]
+    regular_ssd.write_range(10, 3, pages)
+    data, total = regular_ssd.read_range(10, 3)
+    assert data == pages
+    assert total > 0
+
+
+def _erase_spread_after_hot_churn(ssd):
+    rng = random.Random(1)
+    for lpa in range(ssd.logical_pages // 2):
+        ssd.write(lpa)
+    for _ in range(ssd.logical_pages * 6):
+        ssd.write(rng.randrange(16))
+    counts = ssd.device.block_erase_counts()
+    return max(counts) - min(counts)
+
+
+def test_wear_leveling_bounds_spread():
+    # Hammer a tiny hot set so unleveled wear concentrates on few blocks.
+    leveled = make_regular_ssd(wear_check_interval=8, wear_gap_threshold=4)
+    unleveled = make_regular_ssd(wear_check_interval=10**9)
+    leveled_spread = _erase_spread_after_hot_churn(leveled)
+    unleveled_spread = _erase_spread_after_hot_churn(unleveled)
+    assert leveled.wear_leveler.swaps > 0
+    assert unleveled.wear_leveler.swaps == 0
+    assert leveled_spread < unleveled_spread
+    assert leveled_spread <= 8 * leveled.config.wear_gap_threshold
+
+
+def test_free_page_estimate_decreases_with_writes(regular_ssd):
+    before = regular_ssd.free_page_estimate()
+    regular_ssd.write(0)
+    assert regular_ssd.free_page_estimate() == before - 1

@@ -1,0 +1,60 @@
+"""Demand-paged mapping (DFTL) with timed translation I/O."""
+
+import random
+
+import pytest
+
+from tests.conftest import make_regular_ssd
+
+
+def test_fully_cached_mapping_charges_nothing():
+    ssd = make_regular_ssd()
+    for lpa in range(64):
+        ssd.write(lpa)
+        ssd.read(lpa)
+    assert ssd.device.counters.translation_reads == 0
+    assert ssd.device.counters.translation_writes == 0
+
+
+def test_cache_misses_cost_device_time():
+    cached = make_regular_ssd()
+    demand = make_regular_ssd(mapping_cache_entries=8)
+    rng = random.Random(1)
+    # Random access over a working set far larger than the cache.
+    lpas = [rng.randrange(256) for _ in range(400)]
+    for ssd in (cached, demand):
+        for lpa in lpas:
+            ssd.write(lpa)
+            ssd.clock.advance(100)
+    assert demand.device.counters.translation_reads > 0
+    assert demand.write_latency.mean_us > cached.write_latency.mean_us
+
+
+def test_dirty_evictions_write_translation_pages():
+    ssd = make_regular_ssd(mapping_cache_entries=4)
+    for lpa in range(64):
+        ssd.write(lpa)  # every entry is dirtied, then evicted
+    assert ssd.device.counters.translation_writes > 0
+
+
+def test_hot_working_set_hits_cache():
+    ssd = make_regular_ssd(mapping_cache_entries=16)
+    for _ in range(20):
+        for lpa in range(8):  # fits comfortably in the cache
+            ssd.write(lpa)
+    # Only compulsory misses, no steady-state translation traffic.
+    assert ssd.device.counters.translation_reads <= 16
+
+
+def test_reads_also_charge_misses():
+    ssd = make_regular_ssd(mapping_cache_entries=4)
+    for lpa in range(32):
+        ssd.write(lpa)
+    before = ssd.device.counters.translation_reads
+    latencies = []
+    for lpa in range(32):
+        _data, response = ssd.read(lpa)
+        latencies.append(response)
+    assert ssd.device.counters.translation_reads > before
+    # Some reads paid a translation fetch on top of the data read.
+    assert max(latencies) >= 2 * ssd.device.timing.read_us

@@ -1,0 +1,86 @@
+"""Two recovery paths for the same database: its own WAL, or TimeKits.
+
+A crash is survivable by the engine's WAL.  A *malicious* corruption
+that also destroys the WAL is not — that is exactly the paper's threat
+model, and the firmware's retained history still recovers the database.
+"""
+
+import pytest
+
+from repro.common.units import SECOND_US
+from repro.fs import PlainFS
+from repro.timekits import TimeKits
+from repro.timessd.config import ContentMode, TimeSSDConfig
+from repro.timessd.ssd import TimeSSD
+from repro.workloads.oltp.wal import TransactionalEngine
+
+from tests.conftest import small_geometry
+
+
+@pytest.fixture
+def stack():
+    ssd = TimeSSD(
+        TimeSSDConfig(
+            geometry=small_geometry(blocks_per_plane=128),
+            content_mode=ContentMode.REAL,
+            retention_floor_us=3600 * SECOND_US,
+        )
+    )
+    fs = PlainFS(ssd)
+    engine = TransactionalEngine(fs, table_pages=32, checkpoint_every=4)
+    return ssd, fs, engine
+
+
+def commit_rows(engine, fs, n, tag):
+    state = {}
+    for i in range(n):
+        txn = engine.begin()
+        data = ("%s-%d" % (tag, i)).encode().ljust(fs.page_size, b"\0")
+        engine.write(txn, i % 16, data)
+        engine.commit(txn)
+        state[i % 16] = data
+        fs.ssd.clock.advance(2000)
+    return state
+
+
+def test_crash_recovery_via_wal(stack):
+    _ssd, fs, engine = stack
+    state = commit_rows(engine, fs, 10, "row")
+    engine.crash()
+    engine.recover()
+    check = engine.begin()
+    for page_index, data in state.items():
+        assert engine.read(check, page_index) == data
+
+
+def test_malicious_corruption_defeats_wal_but_not_timekits(stack):
+    ssd, fs, engine = stack
+    state = commit_rows(engine, fs, 10, "row")
+    engine.checkpoint()  # durable, consistent on-device state
+    t_clean = ssd.clock.now_us
+    ssd.clock.advance(SECOND_US)
+
+    # The attacker (kernel privileges) shreds BOTH the table file and
+    # the WAL at device level — software recovery has nothing left.
+    garbage = b"\xde\xad" * (fs.page_size // 2)
+    for name in (engine.pool.name, engine.wal.name):
+        for lpa in fs.file_lpas(name):
+            ssd.write(lpa, garbage)
+
+    engine.crash()
+    engine.recover()  # WAL replay reads shredded log: nothing to redo
+    check = engine.begin()
+    corrupted = any(
+        engine.read(check, page_index) != data for page_index, data in state.items()
+    )
+    assert corrupted, "corruption should have defeated software recovery"
+    engine.abort(check)
+
+    # Firmware time travel: roll every device page back to t_clean.
+    kits = TimeKits(ssd)
+    kits.rollback_all(t_clean, threads=4)
+    engine.crash()  # drop any stale cache
+    engine.recover()
+    check = engine.begin()
+    for page_index, data in state.items():
+        assert engine.read(check, page_index) == data

@@ -1,0 +1,218 @@
+import pytest
+
+from repro.common.units import SECOND_US
+from repro.nvme import (
+    AdminOpcode,
+    HostNVMeDriver,
+    NVMeCommand,
+    NVMeController,
+    Opcode,
+    StatusCode,
+)
+from repro.nvme.driver import NVMeError
+from repro.timessd.config import ContentMode
+
+from tests.conftest import make_regular_ssd, make_timessd
+
+
+@pytest.fixture
+def driver():
+    ssd = make_timessd(
+        content_mode=ContentMode.REAL, retention_floor_us=3600 * SECOND_US
+    )
+    return HostNVMeDriver(ssd)
+
+
+def page(ssd_or_driver, text):
+    size = (
+        ssd_or_driver.controller.ssd.device.geometry.page_size
+        if isinstance(ssd_or_driver, HostNVMeDriver)
+        else ssd_or_driver.device.geometry.page_size
+    )
+    return text.encode().ljust(size, b"\0")
+
+
+class TestStandardIO:
+    def test_write_read_roundtrip(self, driver):
+        payload = [page(driver, "hello-nvme")]
+        driver.write(7, payload)
+        assert driver.read(7) == payload
+
+    def test_multi_block_io(self, driver):
+        pages = [page(driver, "p%d" % i) for i in range(4)]
+        driver.write(10, pages)
+        assert driver.read(10, 4) == pages
+
+    def test_trim(self, driver):
+        driver.write(3, [page(driver, "x")])
+        driver.trim(3)
+        assert driver.read(3) == [None]
+
+    def test_flush_succeeds(self, driver):
+        driver.flush()
+
+    def test_out_of_range_is_status_not_exception_at_controller(self, driver):
+        completion = driver.controller.submit(
+            NVMeCommand(Opcode.READ, slba=10**9, nlb=1)
+        )
+        assert completion.status is StatusCode.LBA_OUT_OF_RANGE
+
+    def test_driver_raises_on_error_status(self, driver):
+        with pytest.raises(NVMeError) as excinfo:
+            driver.read(10**9)
+        assert excinfo.value.status is StatusCode.LBA_OUT_OF_RANGE
+
+    def test_bad_nlb_rejected(self, driver):
+        completion = driver.controller.submit(NVMeCommand(Opcode.READ, slba=0, nlb=0))
+        assert completion.status is StatusCode.INVALID_FIELD
+
+    def test_unknown_opcode_rejected(self, driver):
+        completion = driver.controller.submit(NVMeCommand(opcode=0x55))
+        assert completion.status is StatusCode.INVALID_OPCODE
+
+
+class TestAdmin:
+    def test_identify_reports_time_travel(self, driver):
+        info = driver.identify()
+        assert info.model == "TimeSSD"
+        assert info.time_travel
+        assert info.logical_pages == driver.controller.ssd.logical_pages
+
+    def test_identify_regular_device(self):
+        regular = HostNVMeDriver(make_regular_ssd())
+        info = regular.identify()
+        assert info.model == "RegularSSD"
+        assert not info.time_travel
+
+    def test_smart_log_counters(self, driver):
+        driver.write(0, [page(driver, "a")])
+        log = driver.smart_log()
+        assert log["host_pages_written"] == 1
+        assert "write_amplification" in log
+
+
+class TestVendorCommands:
+    def test_addr_query_all_via_nvme(self, driver):
+        for text in ("v1", "v2", "v3"):
+            driver.write(5, [page(driver, text)])
+            driver.controller.ssd.clock.advance(1000)
+        chains = driver.addr_query_all(5)
+        assert len(chains[5]) == 3
+
+    def test_addr_query_as_of(self, driver):
+        driver.write(5, [page(driver, "old")])
+        t_old = driver.controller.ssd.clock.now_us
+        driver.controller.ssd.clock.advance(1000)
+        driver.write(5, [page(driver, "new")])
+        picked = driver.addr_query(5, t=t_old)
+        assert picked[5].data == page(driver, "old")
+
+    def test_rollback_via_nvme(self, driver):
+        driver.write(5, [page(driver, "old")])
+        t_old = driver.controller.ssd.clock.now_us
+        driver.controller.ssd.clock.advance(1000)
+        driver.write(5, [page(driver, "new")])
+        driver.rollback(5, t=t_old)
+        assert driver.read(5) == [page(driver, "old")]
+
+    def test_time_query_via_nvme(self, driver):
+        driver.write(1, [page(driver, "a")])
+        mark = driver.controller.ssd.clock.now_us
+        driver.controller.ssd.clock.advance(1000)
+        driver.write(2, [page(driver, "b")])
+        updated = driver.time_query(mark)
+        assert 2 in updated and 1 not in updated
+
+    def test_time_query_range_validates_order(self, driver):
+        completion = driver.controller.submit(
+            NVMeCommand(Opcode.TIME_QUERY_RANGE, t=10, t2=5)
+        )
+        assert completion.status is StatusCode.INVALID_FIELD
+
+    def test_retention_info(self, driver):
+        driver.write(0, [page(driver, "a")])
+        driver.write(0, [page(driver, "b")])
+        info = driver.retention_info()
+        assert info["retained_pages"] == 1
+        assert info["retention_floor_us"] == 3600 * SECOND_US
+
+    def test_vendor_opcodes_rejected_on_regular_ssd(self):
+        regular = HostNVMeDriver(make_regular_ssd())
+        completion = regular.controller.submit(NVMeCommand(Opcode.ADDR_QUERY_ALL))
+        assert completion.status is StatusCode.INVALID_OPCODE
+
+    def test_completion_carries_latency(self, driver):
+        driver.write(0, [page(driver, "a")])
+        completion = driver.controller.submit(NVMeCommand(Opcode.READ, slba=0, nlb=1))
+        assert completion.ok
+        assert completion.latency_us > 0
+
+
+class TestRetentionAlarm:
+    def test_floor_violation_surfaces_as_vendor_status(self):
+        ssd = make_timessd(retention_floor_us=10**15)
+        driver = HostNVMeDriver(ssd)
+        status = None
+        for i in range(50_000):
+            completion = driver.controller.submit(
+                NVMeCommand(Opcode.WRITE, slba=i % 64, nlb=1, data=[None])
+            )
+            if not completion.ok:
+                status = completion.status
+                break
+            ssd.clock.advance(100)
+        assert status is StatusCode.RETENTION_PROTECTED
+
+
+class TestBatchedSubmission:
+    def _loaded_driver(self):
+        ssd = make_timessd()
+        driver = HostNVMeDriver(ssd)
+        for lpa in range(256):
+            ssd.write(lpa)
+        return driver
+
+    def test_reads_scale_with_queue_depth(self):
+        import random
+
+        driver = self._loaded_driver()
+        rng = random.Random(2)
+        lpas = [rng.randrange(256) for _ in range(200)]
+        elapsed = {}
+        for qd in (1, 8):
+            commands = [NVMeCommand(Opcode.READ, slba=lpa, nlb=1) for lpa in lpas]
+            completions, took = driver.submit_batch(commands, queue_depth=qd)
+            assert all(c.ok for c in completions)
+            elapsed[qd] = took
+        assert elapsed[8] < elapsed[1] / 2  # deep queues exploit channels
+
+    def test_batched_writes_apply_in_order(self):
+        driver = self._loaded_driver()
+        commands = [
+            NVMeCommand(Opcode.WRITE, slba=5, nlb=1, data=[b"first"]),
+            NVMeCommand(Opcode.WRITE, slba=5, nlb=1, data=[b"second"]),
+        ]
+        completions, _ = driver.submit_batch(commands, queue_depth=4)
+        assert all(c.ok for c in completions)
+        assert driver.read(5) == [b"second"]
+
+    def test_batch_reports_bad_lba(self):
+        driver = self._loaded_driver()
+        commands = [NVMeCommand(Opcode.READ, slba=10**9, nlb=1)]
+        completions, _ = driver.submit_batch(commands)
+        assert completions[0].status is StatusCode.LBA_OUT_OF_RANGE
+
+    def test_batch_rejects_vendor_opcodes(self):
+        driver = self._loaded_driver()
+        completions, _ = driver.submit_batch(
+            [NVMeCommand(Opcode.ADDR_QUERY_ALL, slba=0, nlb=1)]
+        )
+        assert completions[0].status is StatusCode.INVALID_OPCODE
+
+    def test_batch_trim(self):
+        driver = self._loaded_driver()
+        completions, _ = driver.submit_batch(
+            [NVMeCommand(Opcode.DSM, slba=0, nlb=4)]
+        )
+        assert completions[0].ok
+        assert driver.read(0) == [None]

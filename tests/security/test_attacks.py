@@ -1,0 +1,74 @@
+"""§3.10 attacks on the retention mechanism itself."""
+
+import pytest
+
+from repro.common.units import DAY_US, HOUR_US, SECOND_US
+from repro.security.attacks import (
+    JunkFloodAttack,
+    RollbackWipeAttack,
+    SlowDribbleAttack,
+)
+from repro.timessd.config import ContentMode
+
+from tests.conftest import make_timessd, small_geometry
+
+
+def protected_device(floor_us=3 * DAY_US):
+    """A device holding a few protected pages written at t_clean."""
+    ssd = make_timessd(
+        geometry=small_geometry(blocks_per_plane=32),
+        content_mode=ContentMode.REAL,
+        retention_floor_us=floor_us,
+        bloom_segment_max_age_us=HOUR_US,
+    )
+    protected = {}
+    for lpa in range(8):
+        payload = (b"precious-%d" % lpa).ljust(ssd.device.geometry.page_size, b"\x05")
+        ssd.write(lpa, payload)
+        protected[lpa] = payload
+        ssd.clock.advance(1000)
+    t_clean = ssd.clock.now_us
+    ssd.clock.advance(SECOND_US)
+    return ssd, protected, t_clean
+
+
+class TestJunkFlood:
+    def test_device_alarms_before_history_is_lost(self):
+        ssd, protected, t_clean = protected_device()
+        outcome = JunkFloodAttack(ssd, seed=1).execute(protected, t_clean)
+        # The flood hits the wall inside the floor window...
+        assert outcome.device_alarmed
+        assert outcome.attack_duration_us < ssd.config.retention_floor_us
+        # ...and the protected history is still retrievable.
+        assert outcome.history_survived
+
+    def test_flood_is_loud_and_fast(self):
+        ssd, protected, t_clean = protected_device()
+        outcome = JunkFloodAttack(ssd, seed=1).execute(protected, t_clean)
+        # "The SSD will quickly become full... easily observed by users":
+        # the alarm fires after at most ~the device's raw capacity of junk.
+        assert outcome.junk_pages_written < 3 * ssd.device.geometry.total_pages
+
+
+class TestSlowDribble:
+    def test_slow_junk_does_not_erase_history_quickly(self):
+        ssd, protected, t_clean = protected_device()
+        outcome = SlowDribbleAttack(ssd, seed=2).execute(
+            protected, t_clean, pages=1500
+        )
+        # A slow attacker neither alarms the device nor reaches the
+        # protected history — retention simply stays long: the window
+        # still covers essentially the whole (12-hour) attack.
+        assert not outcome.device_alarmed
+        assert outcome.history_survived
+        assert ssd.retention_window_us() >= 0.9 * outcome.attack_duration_us
+
+
+class TestRollbackWipe:
+    def test_recovery_api_cannot_destroy_history(self):
+        ssd, protected, t_clean = protected_device()
+        outcome = RollbackWipeAttack(ssd, seed=3).execute(protected, t_clean)
+        # Either the device alarmed during the wipe, or the history is
+        # still there — rollbacks are writes, not erasure.
+        assert outcome.device_alarmed
+        assert outcome.history_survived

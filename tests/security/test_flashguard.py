@@ -1,0 +1,110 @@
+import pytest
+
+from repro.common.units import SECOND_US
+from repro.fs import PlainFS
+from repro.ftl.ssd import SSDConfig
+from repro.security import FlashGuardSSD, RANSOMWARE_FAMILIES, RansomwareAttack, RansomwareDefense
+
+from tests.conftest import small_geometry
+
+
+def make_flashguard():
+    return FlashGuardSSD(SSDConfig(geometry=small_geometry(blocks_per_plane=96)))
+
+
+class TestRetentionRule:
+    def test_read_then_overwrite_is_retained(self):
+        ssd = make_flashguard()
+        ssd.write(5, b"secret")
+        ssd.read(5)
+        ssd.clock.advance(100)
+        ssd.write(5, b"cipher")
+        assert ssd.retained_count == 1
+
+    def test_overwrite_without_read_not_retained(self):
+        ssd = make_flashguard()
+        ssd.write(5, b"v1")
+        ssd.clock.advance(100)
+        ssd.write(5, b"v2")
+        assert ssd.retained_count == 0
+
+    def test_read_flag_cleared_by_write(self):
+        ssd = make_flashguard()
+        ssd.write(5, b"v1")
+        ssd.read(5)
+        ssd.write(5, b"v2")  # retains v1
+        ssd.clock.advance(10)
+        ssd.write(5, b"v3")  # v2 never read -> not retained
+        assert ssd.retained_count == 1
+
+
+class TestRecovery:
+    def test_recover_restores_read_then_overwritten_page(self):
+        ssd = make_flashguard()
+        ssd.write(5, b"plaintext")
+        t_clean = ssd.clock.now_us
+        ssd.clock.advance(1000)
+        ssd.read(5)
+        ssd.write(5, b"ciphertext")
+        restored, elapsed = ssd.recover_lpas([5], t_clean)
+        assert restored[5] == b"plaintext"
+        assert ssd.read(5)[0] == b"plaintext"
+        assert elapsed > 0
+
+    def test_recover_survives_gc(self):
+        import random
+
+        ssd = make_flashguard()
+        ssd.write(5, b"plaintext")
+        t_clean = ssd.clock.now_us
+        ssd.clock.advance(10)
+        ssd.read(5)
+        ssd.write(5, b"cipher")
+        # Churn other LPAs to force GC over the retained page's block.
+        rng = random.Random(1)
+        working = ssd.logical_pages // 2
+        for _ in range(working * 4):
+            ssd.write(rng.randrange(6, working))
+            ssd.clock.advance(50)
+        assert ssd.gc_runs > 0
+        restored, _ = ssd.recover_lpas([5], t_clean)
+        assert restored.get(5) == b"plaintext"
+
+    def test_unretained_lpa_not_restored(self):
+        ssd = make_flashguard()
+        ssd.write(5, b"v1")
+        ssd.write(5, b"v2")
+        restored, _ = ssd.recover_lpas([5], ssd.clock.now_us)
+        assert 5 not in restored
+
+    def test_write_back_false_reads_only(self):
+        ssd = make_flashguard()
+        ssd.write(5, b"old")
+        t = ssd.clock.now_us
+        ssd.read(5)
+        ssd.write(5, b"new")
+        restored, _ = ssd.recover_lpas([5], t, write_back=False)
+        assert restored[5] == b"old"
+        assert ssd.read(5)[0] == b"new"
+
+
+class TestDefenseComparison:
+    def test_flashguard_recovers_ransomware_attack(self):
+        ssd = make_flashguard()
+        fs = PlainFS(ssd)
+        originals = {}
+        for i in range(10):
+            name = "f%02d" % i
+            fs.create(name)
+            payload = (b"orig%02d" % i) * 20
+            fs.write(name, 0, payload.ljust(fs.page_size, b"\x02"))
+            originals[name] = fs.read(name, 0, fs.file_size(name))
+            ssd.clock.advance(5000)
+        ssd.clock.advance(SECOND_US)
+        attack = RansomwareAttack(fs, RANSOMWARE_FAMILIES["CryptoWall"], seed=3)
+        report = attack.execute()
+        defense = RansomwareDefense(fs)
+        outcome = defense.recover_with_flashguard(report)
+        assert outcome.files_recovered == len(report.encrypted_files)
+        for name in report.encrypted_files:
+            assert fs.read(name, 0, len(originals[name])) == originals[name]

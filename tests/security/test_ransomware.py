@@ -1,0 +1,95 @@
+import pytest
+
+from repro.common.units import SECOND_US
+from repro.fs import PlainFS
+from repro.security import (
+    RANSOMWARE_FAMILIES,
+    RansomwareAttack,
+    RansomwareDefense,
+    RansomwareProfile,
+)
+from repro.timessd.config import ContentMode, TimeSSDConfig
+from repro.timessd.ssd import TimeSSD
+
+from tests.conftest import small_geometry
+
+
+def make_victim_fs(nfiles=12, pages_per_file=3):
+    ssd = TimeSSD(
+        TimeSSDConfig(
+            geometry=small_geometry(blocks_per_plane=96),
+            content_mode=ContentMode.REAL,
+            retention_floor_us=3600 * SECOND_US,
+        )
+    )
+    fs = PlainFS(ssd)
+    originals = {}
+    for i in range(nfiles):
+        name = "doc%02d" % i
+        fs.create(name)
+        payload = ("original-%02d" % i).encode() * 10
+        fs.write(name, 0, payload.ljust(pages_per_file * fs.page_size, b"\x01"))
+        originals[name] = fs.read(name, 0, fs.file_size(name))
+        ssd.clock.advance(5000)
+    ssd.clock.advance(SECOND_US)
+    return fs, originals
+
+
+class TestProfiles:
+    def test_thirteen_families(self):
+        assert len(RANSOMWARE_FAMILIES) == 13
+
+    def test_patterns_valid(self):
+        for profile in RANSOMWARE_FAMILIES.values():
+            assert profile.pattern in ("overwrite", "delete_rewrite")
+            assert profile.files_per_minute > 0
+            assert 0 < profile.target_fraction <= 1
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            RansomwareProfile("bad", 10, 0.5, "weird")
+
+
+class TestAttack:
+    def test_overwrite_attack_encrypts_in_place(self):
+        fs, originals = make_victim_fs()
+        attack = RansomwareAttack(fs, RANSOMWARE_FAMILIES["Petya"], seed=1)
+        report = attack.execute()
+        assert report.encrypted_files
+        for name in report.encrypted_files:
+            assert fs.read(name, 0, 64) != originals[name][:64]
+
+    def test_delete_rewrite_attack_replaces_files(self):
+        fs, _originals = make_victim_fs()
+        attack = RansomwareAttack(fs, RANSOMWARE_FAMILIES["Locky"], seed=1)
+        report = attack.execute()
+        for name in report.encrypted_files:
+            assert not fs.exists(name)
+            assert fs.exists(name + ".locked")
+
+    def test_attack_duration_tracks_speed(self):
+        fast_fs, _ = make_victim_fs()
+        slow_fs, _ = make_victim_fs()
+        fast = RansomwareAttack(fast_fs, RANSOMWARE_FAMILIES["Petya"], seed=1).execute()
+        slow = RansomwareAttack(
+            slow_fs, RANSOMWARE_FAMILIES["Stampado"], seed=1
+        ).execute()
+        per_file_fast = fast.duration_us / len(fast.encrypted_files)
+        per_file_slow = slow.duration_us / len(slow.encrypted_files)
+        assert per_file_slow > per_file_fast
+
+
+class TestTimeSSDRecovery:
+    @pytest.mark.parametrize("family", ["Petya", "JigSaw", "Locky", "Cerber"])
+    def test_full_recovery(self, family):
+        fs, originals = make_victim_fs()
+        attack = RansomwareAttack(fs, RANSOMWARE_FAMILIES[family], seed=2)
+        report = attack.execute()
+        defense = RansomwareDefense(fs)
+        outcome = defense.recover_with_timekits(report)
+        assert outcome.files_failed == 0
+        assert outcome.files_recovered == len(report.encrypted_files)
+        assert outcome.elapsed_us > 0
+        for name in report.encrypted_files:
+            recovered = fs.read(name, 0, len(originals[name]))
+            assert recovered == originals[name], "file %s not restored" % name

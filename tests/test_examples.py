@@ -1,0 +1,49 @@
+"""Every example script runs cleanly end-to-end."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/ransomware_recovery.py",
+    "examples/forensic_timeline.py",
+    "examples/file_time_machine.py",
+    "examples/nvme_tour.py",
+    "examples/firmware_resilience.py",
+]
+
+
+@pytest.mark.parametrize("path", EXAMPLES)
+def test_example_runs(path, capsys):
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), "%s produced no output" % path
+    assert "Traceback" not in out
+
+
+def test_quickstart_rolls_back(capsys):
+    runpy.run_path("examples/quickstart.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "'draft two'" in out
+
+
+def test_ransomware_example_verifies(capsys):
+    runpy.run_path("examples/ransomware_recovery.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "byte-exact restoration: yes" in out
+
+
+def test_file_time_machine_verifies(capsys):
+    runpy.run_path("examples/file_time_machine.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.count("verified: yes") == 3
+
+
+def test_firmware_resilience_example(capsys):
+    runpy.run_path("examples/firmware_resilience.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "clean" in out
+    assert "history while locked" in out
+    assert "ERROR" not in out

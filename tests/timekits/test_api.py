@@ -1,0 +1,192 @@
+import random
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.common.units import SECOND_US
+from repro.timekits.api import QueryResult, TimeKits, _pick_as_of
+from repro.timessd.index import Version
+
+from tests.conftest import make_regular_ssd, make_timessd
+
+
+@pytest.fixture
+def kit():
+    ssd = make_timessd(retention_floor_us=3600 * SECOND_US)
+    return TimeKits(ssd)
+
+
+def write_history(ssd, lpa, n, gap_us=1000):
+    stamps = []
+    for _ in range(n):
+        stamps.append(ssd.clock.now_us)
+        ssd.write(lpa)
+        ssd.clock.advance(gap_us)
+    return stamps
+
+
+def test_requires_timessd():
+    with pytest.raises(QueryError):
+        TimeKits(make_regular_ssd())
+
+
+def test_pick_as_of_picks_newest_at_or_before():
+    versions = [Version(0, ts, None, "x") for ts in (30, 20, 10)]
+    assert _pick_as_of(versions, 25).timestamp_us == 20
+    assert _pick_as_of(versions, 30).timestamp_us == 30
+    assert _pick_as_of(versions, 5).timestamp_us == 10  # oldest fallback
+    assert _pick_as_of([], 5) is None
+
+
+class TestAddrQueries:
+    def test_addr_query_returns_state_as_of_t(self, kit):
+        stamps = write_history(kit.ssd, 4, 5)
+        result = kit.addr_query(4, cnt=1, t=stamps[2])
+        assert result.value[4].timestamp_us == stamps[2]
+        assert result.elapsed_us > 0
+
+    def test_addr_query_range_filters_window(self, kit):
+        stamps = write_history(kit.ssd, 4, 6)
+        result = kit.addr_query_range(4, 1, stamps[1], stamps[3])
+        got = [v.timestamp_us for v in result.value[4]]
+        assert got == [stamps[3], stamps[2], stamps[1]]
+
+    def test_addr_query_all_returns_everything(self, kit):
+        stamps = write_history(kit.ssd, 4, 5)
+        result = kit.addr_query_all(4)
+        assert [v.timestamp_us for v in result.value[4]] == stamps[::-1]
+
+    def test_multi_lpa_query(self, kit):
+        for lpa in (1, 2, 3):
+            write_history(kit.ssd, lpa, 2)
+        result = kit.addr_query_all(1, cnt=3)
+        assert set(result.value) == {1, 2, 3}
+
+    def test_bad_range_rejected(self, kit):
+        with pytest.raises(QueryError):
+            kit.addr_query(0, cnt=0)
+        with pytest.raises(QueryError):
+            kit.addr_query(kit.ssd.logical_pages, cnt=1)
+        with pytest.raises(QueryError):
+            kit.addr_query_range(0, 1, t1=10, t2=5)
+
+    def test_threads_reduce_elapsed_time(self, kit):
+        for lpa in range(32):
+            write_history(kit.ssd, lpa, 3, gap_us=100)
+        serial = kit.addr_query_all(0, cnt=32, threads=1)
+        parallel = kit.addr_query_all(0, cnt=32, threads=4)
+        assert parallel.elapsed_us < serial.elapsed_us
+        assert {k: [v.timestamp_us for v in vs] for k, vs in serial.value.items()} == {
+            k: [v.timestamp_us for v in vs] for k, vs in parallel.value.items()
+        }
+
+
+class TestTimeQueries:
+    def test_time_query_finds_recent_updates(self, kit):
+        write_history(kit.ssd, 1, 2)
+        mark = kit.ssd.clock.now_us
+        write_history(kit.ssd, 2, 2)
+        result = kit.time_query(mark)
+        assert 2 in result.value
+        assert 1 not in result.value
+
+    def test_time_query_range(self, kit):
+        s1 = write_history(kit.ssd, 1, 2)
+        s2 = write_history(kit.ssd, 2, 2)
+        result = kit.time_query_range(s2[0], s2[-1])
+        assert set(result.value) == {2}
+        with pytest.raises(QueryError):
+            kit.time_query_range(10, 5)
+
+    def test_time_query_all_covers_all_mapped(self, kit):
+        for lpa in (3, 5, 9):
+            write_history(kit.ssd, lpa, 1)
+        result = kit.time_query_all()
+        assert set(result.value) == {3, 5, 9}
+
+    def test_time_query_scans_cost_scales_with_device(self, kit):
+        for lpa in range(64):
+            kit.ssd.write(lpa)
+        result = kit.time_query_all()
+        assert result.elapsed_us >= 64 / kit.ssd.device.geometry.channels * kit.ssd.device.timing.read_us
+
+
+class TestRollback:
+    def test_rollback_restores_old_state(self):
+        ssd = make_timessd(
+            retention_floor_us=3600 * SECOND_US,
+        )
+        from repro.timessd.config import ContentMode, TimeSSDConfig
+
+        # Use real content so we can check actual bytes.
+        from tests.conftest import small_geometry
+
+        ssd = type(ssd)(
+            TimeSSDConfig(
+                geometry=small_geometry(),
+                retention_floor_us=3600 * SECOND_US,
+                content_mode=ContentMode.REAL,
+            )
+        )
+        kit = TimeKits(ssd)
+        ssd.write(7, b"old-state".ljust(512, b"\0"))
+        t_old = ssd.clock.now_us
+        ssd.clock.advance(1000)
+        ssd.write(7, b"new-state".ljust(512, b"\0"))
+        ssd.clock.advance(1000)
+        kit.rollback(7, cnt=1, t=t_old)
+        assert ssd.read(7)[0].startswith(b"old-state")
+
+    def test_rollback_is_itself_undoable(self, kit):
+        stamps = write_history(kit.ssd, 7, 3)
+        pre_rollback_ts = kit.ssd.clock.now_us
+        kit.rollback(7, t=stamps[0])
+        versions, _ = kit.ssd.version_chain(7)
+        # All three original versions plus the rollback write remain.
+        assert len(versions) == 4
+
+    def test_rollback_to_current_state_is_noop(self, kit):
+        stamps = write_history(kit.ssd, 7, 2)
+        writes_before = kit.ssd.host_pages_written
+        result = kit.rollback(7, t=kit.ssd.clock.now_us)
+        assert kit.ssd.host_pages_written == writes_before
+        assert result.value[7].timestamp_us == stamps[-1]
+
+    def test_rollback_all(self, kit):
+        first = {}
+        for lpa in (1, 2):
+            first[lpa] = write_history(kit.ssd, lpa, 1)[0]
+        t = kit.ssd.clock.now_us
+        kit.ssd.clock.advance(500)
+        for lpa in (1, 2):
+            write_history(kit.ssd, lpa, 1)
+        result = kit.rollback_all(t)
+        assert set(result.value) == {1, 2}
+        for lpa in (1, 2):
+            # Each LPA was rolled back to its first (pre-t) version...
+            assert result.value[lpa].timestamp_us == first[lpa]
+            versions, _ = kit.ssd.version_chain(lpa)
+            # ...via a fresh write, so the chain grew to three versions.
+            assert versions[0].timestamp_us > t
+            assert len(versions) == 3
+
+
+class TestQueryResult:
+    def test_fields(self):
+        r = QueryResult(value={"a": 1}, elapsed_us=10)
+        assert r.value == {"a": 1}
+        assert r.elapsed_us == 10
+
+
+class TestPagesTouched:
+    def test_queries_report_flash_reads(self):
+        from tests.conftest import make_timessd
+        from repro.common.units import SECOND_US
+
+        ssd = make_timessd(retention_floor_us=3600 * SECOND_US)
+        kit = TimeKits(ssd)
+        for _ in range(4):
+            ssd.write(3)
+            ssd.clock.advance(1000)
+        result = kit.addr_query_all(3)
+        assert result.pages_touched == 4  # one read per chain hop

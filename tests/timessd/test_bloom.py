@@ -1,0 +1,135 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.clock import SimClock
+from repro.timessd.bloom import BloomFilter, TimeSegmentedBlooms
+
+
+class TestBloomFilter:
+    def test_added_items_are_found(self):
+        bf = BloomFilter(capacity=128, seed=1)
+        for item in range(100):
+            bf.add(item * 7)
+        assert all((item * 7) in bf for item in range(100))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+        with pytest.raises(ValueError):
+            BloomFilter(10, fp_rate=1.5)
+
+    def test_rejects_negative_items(self):
+        from repro.common.errors import ReproError
+
+        with pytest.raises(ReproError):
+            BloomFilter(8).add(-1)
+
+    def test_false_positive_rate_near_target(self):
+        bf = BloomFilter(capacity=2000, fp_rate=0.01, seed=3)
+        for item in range(2000):
+            bf.add(item)
+        false_hits = sum(1 for probe in range(10_000, 30_000) if probe in bf)
+        assert false_hits / 20_000 < 0.05  # generous 5x margin on 1% target
+
+    def test_fullness(self):
+        bf = BloomFilter(capacity=4)
+        assert not bf.is_full
+        for item in range(4):
+            bf.add(item)
+        assert bf.is_full
+
+    def test_memory_is_bounded(self):
+        bf = BloomFilter(capacity=4096, fp_rate=0.01)
+        # ~9.6 bits/item at 1% fp -> well under 8 KiB.
+        assert bf.memory_bytes() < 8192
+
+    @given(items=st.sets(st.integers(min_value=0, max_value=2**48), max_size=200))
+    @settings(max_examples=50)
+    def test_no_false_negatives(self, items):
+        bf = BloomFilter(capacity=max(1, len(items)), seed=9)
+        for item in items:
+            bf.add(item)
+        assert all(item in bf for item in items)
+
+
+class TestTimeSegmentedBlooms:
+    def make(self, capacity=4, group_size=4):
+        clock = SimClock()
+        return clock, TimeSegmentedBlooms(
+            clock, capacity_per_filter=capacity, group_size=group_size, seed=5
+        )
+
+    def test_grouping(self):
+        _clock, blooms = self.make(group_size=4)
+        assert blooms.group_of(0) == blooms.group_of(3)
+        assert blooms.group_of(3) != blooms.group_of(4)
+
+    def test_recorded_pages_are_retained(self):
+        _clock, blooms = self.make()
+        blooms.record_invalidation(10)
+        assert blooms.is_retained(10)
+        # Group granularity: neighbours in the same group also hit.
+        assert blooms.is_retained(8)
+
+    def test_unrecorded_page_not_retained(self):
+        _clock, blooms = self.make()
+        assert not blooms.is_retained(100)
+
+    def test_segment_rollover_on_capacity(self):
+        clock, blooms = self.make(capacity=2, group_size=1)
+        clock.advance(10)
+        blooms.record_invalidation(1)
+        blooms.record_invalidation(2)
+        clock.advance(10)
+        blooms.record_invalidation(3)  # rolls into a new segment
+        live = blooms.live_segments()
+        assert len(live) == 2
+        assert live[0].sealed_us is not None
+        assert live[1].active
+
+    def test_find_segment_prefers_newest(self):
+        clock, blooms = self.make(capacity=1, group_size=1)
+        blooms.record_invalidation(7)
+        clock.advance(100)
+        blooms.record_invalidation(7)  # same group again, new segment
+        segment = blooms.find_segment(7)
+        assert segment is blooms.live_segments()[-1]
+
+    def test_drop_oldest_shrinks_window(self):
+        clock, blooms = self.make(capacity=1, group_size=1)
+        blooms.record_invalidation(1)
+        clock.advance(1000)
+        blooms.record_invalidation(2)
+        clock.advance(1000)
+        start_before = blooms.window_start_us()
+        dropped = blooms.drop_oldest()
+        assert dropped is not None
+        assert blooms.window_start_us() > start_before
+
+    def test_never_drops_last_segment(self):
+        _clock, blooms = self.make()
+        assert blooms.drop_oldest() is None
+
+    def test_dropped_pages_become_expired(self):
+        clock, blooms = self.make(capacity=1, group_size=1)
+        blooms.record_invalidation(1)
+        clock.advance(10)
+        blooms.record_invalidation(2)
+        blooms.drop_oldest()
+        assert not blooms.is_retained(1)
+        assert blooms.is_retained(2)
+
+    def test_floor_blocks_young_drop(self):
+        clock, blooms = self.make(capacity=1, group_size=1)
+        blooms.record_invalidation(1)
+        clock.advance(10)
+        blooms.record_invalidation(2)
+        assert not blooms.can_drop_oldest(floor_us=1000)
+        clock.advance(2000)
+        assert blooms.can_drop_oldest(floor_us=1000)
+
+    def test_retention_us_tracks_oldest_live(self):
+        clock, blooms = self.make(capacity=1, group_size=1)
+        blooms.record_invalidation(1)
+        clock.advance(500)
+        assert blooms.retention_us() == 500

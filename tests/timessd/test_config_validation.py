@@ -1,0 +1,71 @@
+"""Configuration validation across the device configs."""
+
+import pytest
+
+from repro.flash.timing import FlashTiming
+from repro.ftl.ssd import SSDConfig
+from repro.timessd.config import ContentMode, TimeSSDConfig
+
+from tests.conftest import small_geometry
+
+
+class TestSSDConfig:
+    def test_defaults_derive_watermark(self):
+        config = SSDConfig(geometry=small_geometry())
+        assert config.gc_low_watermark >= small_geometry().channels + 2
+
+    def test_explicit_watermark_kept(self):
+        config = SSDConfig(geometry=small_geometry(), gc_low_watermark=9)
+        assert config.gc_low_watermark == 9
+
+    @pytest.mark.parametrize("ratio", [0.0, 1.0, -0.2])
+    def test_bad_op_ratio(self, ratio):
+        with pytest.raises(ValueError):
+            SSDConfig(geometry=small_geometry(), op_ratio=ratio)
+
+    def test_logical_pages_below_raw(self):
+        config = SSDConfig(geometry=small_geometry(), op_ratio=0.15)
+        geo = small_geometry()
+        assert config.logical_pages == int(geo.total_pages / 1.15)
+
+
+class TestTimeSSDConfig:
+    def test_paper_defaults(self):
+        config = TimeSSDConfig()
+        from repro.common.units import DAY_US
+
+        assert config.retention_floor_us == 3 * DAY_US
+        assert config.bloom_group_size == 16
+        assert config.gc_overhead_threshold == 0.20
+        assert config.idle_alpha == 0.5
+        assert config.idle_threshold_us == 10_000
+        assert config.content_mode is ContentMode.MODELED
+
+    def test_timessd_watermark_raised_above_channels(self):
+        config = TimeSSDConfig(geometry=small_geometry())
+        assert config.gc_low_watermark >= small_geometry().channels + 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"retention_floor_us": -1},
+            {"gc_overhead_threshold": 0},
+            {"idle_alpha": 0},
+            {"idle_alpha": 1.5},
+            {"modeled_ratio_mean": 0.0},
+            {"modeled_ratio_mean": 1.0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TimeSSDConfig(geometry=small_geometry(), **kwargs)
+
+
+class TestFlashTiming:
+    def test_costs_ordering_default(self):
+        timing = FlashTiming()
+        assert timing.read_us < timing.program_us < timing.erase_us
+
+    def test_negative_bus_rejected(self):
+        with pytest.raises(ValueError):
+            FlashTiming(bus_transfer_us=-1)

@@ -1,0 +1,87 @@
+import os
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ReproError
+from repro.timessd.delta import ModeledDeltaCodec, RealDeltaCodec
+
+PAGE = 256
+
+
+class TestRealDeltaCodec:
+    def setup_method(self):
+        self.codec = RealDeltaCodec(PAGE)
+
+    def test_similar_pages_give_small_delta(self):
+        ref = bytearray(os.urandom(PAGE))
+        old = bytearray(ref)
+        old[10] ^= 0xFF  # one changed byte
+        payload, size = self.codec.compress(bytes(old), bytes(ref))
+        assert size < PAGE // 4
+        assert self.codec.decompress(payload, bytes(ref)) == bytes(old)
+
+    def test_unrelated_pages_fall_back_to_raw(self):
+        old, ref = os.urandom(PAGE), os.urandom(PAGE)
+        payload, size = self.codec.compress(old, ref)
+        assert size == PAGE
+        assert payload[0] == "raw"
+        assert self.codec.decompress(payload, ref) == old
+
+    def test_no_reference_uses_plain_lzf(self):
+        old = bytes(PAGE)  # compressible
+        payload, size = self.codec.compress(old, None)
+        assert payload[0] == "lzf"
+        assert size < PAGE
+        assert self.codec.decompress(payload, None) == old
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ReproError):
+            self.codec.compress(b"short", bytes(PAGE))
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(ReproError):
+            self.codec.compress(object(), bytes(PAGE))
+
+    def test_xor_delta_requires_reference_on_decompress(self):
+        ref = os.urandom(PAGE)
+        old = bytes(b ^ 1 for b in ref)
+        payload, _ = self.codec.compress(old, ref)
+        if payload[0] == "xor":
+            with pytest.raises(ReproError):
+                self.codec.decompress(payload, None)
+
+    @given(
+        seed=st.integers(0, 500),
+        nchanges=st.integers(0, PAGE),
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, seed, nchanges):
+        rng = random.Random(seed)
+        ref = bytearray(rng.randrange(256) for _ in range(PAGE))
+        old = bytearray(ref)
+        for _ in range(nchanges):
+            old[rng.randrange(PAGE)] = rng.randrange(256)
+        payload, size = self.codec.compress(bytes(old), bytes(ref))
+        assert 1 <= size <= PAGE
+        assert self.codec.decompress(payload, bytes(ref)) == bytes(old)
+
+
+class TestModeledDeltaCodec:
+    def test_requires_rng(self):
+        with pytest.raises(ReproError):
+            ModeledDeltaCodec(PAGE)
+
+    def test_size_follows_clipped_gaussian(self):
+        codec = ModeledDeltaCodec(PAGE, 0.2, 0.05, rng=random.Random(1))
+        sizes = [codec.compress(None, None)[1] for _ in range(2000)]
+        mean_ratio = sum(sizes) / len(sizes) / PAGE
+        assert 0.15 < mean_ratio < 0.25
+        assert all(1 <= s <= int(PAGE * 0.95) for s in sizes)
+
+    def test_payload_identity_roundtrip(self):
+        codec = ModeledDeltaCodec(PAGE, 0.2, 0.05, rng=random.Random(1))
+        token = ("version", 42)
+        payload, _ = codec.compress(token, None)
+        assert codec.decompress(payload, None) == token

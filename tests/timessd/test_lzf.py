@@ -1,0 +1,84 @@
+import os
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ReproError
+from repro.timessd import lzf
+
+
+def test_empty_input():
+    assert lzf.compress(b"") == b""
+    assert lzf.decompress(b"") == b""
+
+
+def test_short_literal_roundtrip():
+    data = b"abc"
+    assert lzf.decompress(lzf.compress(data)) == data
+
+
+def test_repetitive_data_compresses_well():
+    data = b"abcdefgh" * 512
+    compressed = lzf.compress(data)
+    assert len(compressed) < len(data) // 4
+    assert lzf.decompress(compressed, len(data)) == data
+
+
+def test_zero_page_compresses_extremely_well():
+    data = bytes(4096)
+    compressed = lzf.compress(data)
+    assert len(compressed) < 64
+    assert lzf.decompress(compressed, len(data)) == data
+
+
+def test_random_data_roundtrips():
+    data = os.urandom(4096)
+    assert lzf.decompress(lzf.compress(data), len(data)) == data
+
+
+def test_overlapping_match_roundtrip():
+    # RLE-like: matches overlap their own output (distance < length).
+    data = b"a" * 1000
+    assert lzf.decompress(lzf.compress(data), len(data)) == data
+
+
+def test_long_matches_use_extended_length():
+    data = b"x" * 300 + b"y" + b"x" * 300
+    assert lzf.decompress(lzf.compress(data), len(data)) == data
+
+
+def test_length_mismatch_detected():
+    blob = lzf.compress(b"hello world")
+    with pytest.raises(ReproError):
+        lzf.decompress(blob, expected_length=5)
+
+
+def test_corrupt_stream_rejected():
+    with pytest.raises(ReproError):
+        lzf.decompress(b"\x1f")  # 32-byte literal run with no payload
+
+
+def test_corrupt_backreference_rejected():
+    # Back-reference before the start of output.
+    with pytest.raises(ReproError):
+        lzf.decompress(bytes([0x20 | 0x1F, 0xFF]))
+
+
+@given(data=st.binary(max_size=5000))
+@settings(max_examples=200)
+def test_roundtrip_property(data):
+    assert lzf.decompress(lzf.compress(data), len(data)) == data
+
+
+@given(
+    seed=st.integers(0, 1000),
+    block=st.integers(1, 64),
+    repeats=st.integers(1, 100),
+)
+@settings(max_examples=50)
+def test_structured_roundtrip_property(seed, block, repeats):
+    rng = random.Random(seed)
+    chunk = bytes(rng.randrange(4) for _ in range(block))
+    data = chunk * repeats
+    assert lzf.decompress(lzf.compress(data), len(data)) == data

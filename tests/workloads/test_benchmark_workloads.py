@@ -1,0 +1,94 @@
+import pytest
+
+from repro.fs import JournalingFS, PlainFS
+from repro.workloads.content import ContentFactory
+from repro.workloads.iozone import IOZoneWorkload
+from repro.workloads.postmark import PostMarkWorkload
+from repro.workloads.oltp import TATP, TPCB, TPCC, MiniOLTPEngine
+
+from tests.conftest import make_regular_ssd, small_geometry
+
+
+def big_fs(cls=PlainFS):
+    return cls(make_regular_ssd(geometry=small_geometry(blocks_per_plane=128)))
+
+
+class TestContentFactory:
+    def test_fresh_then_mutate_is_similar(self):
+        factory = ContentFactory(512, mutation_fraction=0.05)
+        v1 = factory.fresh("k")
+        v2 = factory.mutate("k")
+        same = sum(1 for a, b in zip(v1, v2) if a == b)
+        assert same > 512 * 0.9
+        assert v1 != v2
+
+    def test_mutate_without_fresh_creates(self):
+        factory = ContentFactory(128)
+        assert len(factory.mutate("new")) == 128
+
+    def test_forget(self):
+        factory = ContentFactory(128)
+        factory.fresh("k")
+        factory.forget("k")
+        assert factory.current("k") is None
+
+    def test_bad_fraction_rejected(self):
+        from repro.common.errors import ReproError
+
+        with pytest.raises(ReproError):
+            ContentFactory(128, mutation_fraction=2.0)
+
+
+class TestIOZone:
+    def test_phases_produce_throughput(self):
+        result = IOZoneWorkload(big_fs(), file_pages=64, carry_content=False).run()
+        values = result.as_dict()
+        assert set(values) == {"SeqWrite", "SeqRead", "RandomWrite", "RandomRead"}
+        assert all(v > 0 for v in values.values())
+
+    def test_reads_faster_than_writes(self):
+        result = IOZoneWorkload(big_fs(), file_pages=64, carry_content=False).run()
+        assert result.seq_read > result.seq_write
+        assert result.rand_read > result.rand_write
+
+    def test_journaling_slows_writes_not_reads(self):
+        plain = IOZoneWorkload(big_fs(PlainFS), file_pages=64, carry_content=False).run()
+        journal = IOZoneWorkload(big_fs(JournalingFS), file_pages=64, carry_content=False).run()
+        assert plain.rand_write > 1.3 * journal.rand_write
+        assert journal.seq_read == pytest.approx(plain.seq_read, rel=0.3)
+
+
+class TestPostMark:
+    def test_run_completes_and_counts(self):
+        workload = PostMarkWorkload(big_fs(), nfiles=16, carry_content=False)
+        result = workload.run(transactions=200)
+        assert result.transactions == 200
+        assert result.tps > 0
+        assert (
+            result.creates + result.deletes + result.reads + result.appends == 200
+        )
+
+    def test_pool_stays_bounded_below(self):
+        workload = PostMarkWorkload(big_fs(), nfiles=16, carry_content=False)
+        workload.run(transactions=300)
+        assert len(workload._pool) >= 8
+
+
+class TestMiniOLTP:
+    def test_tatp_faster_than_tpcb_faster_than_tpcc(self):
+        results = {}
+        for profile in (TPCC, TPCB, TATP):
+            engine = MiniOLTPEngine(big_fs(), table_pages=128, carry_content=False)
+            results[profile.name] = engine.run(profile, transactions=150).tps
+        assert results["TATP"] > results["TPCB"] > results["TPCC"]
+
+    def test_write_probability_respected(self):
+        engine = MiniOLTPEngine(big_fs(), table_pages=64, carry_content=False)
+        result = engine.run(TATP, transactions=400)
+        # TATP writes ~20% of transactions.
+        assert result.pages_written < 0.35 * result.transactions
+
+    def test_log_appends_sequential(self):
+        engine = MiniOLTPEngine(big_fs(), table_pages=64, carry_content=False)
+        engine.run(TPCB, transactions=50)
+        assert engine._log_page == 50

@@ -1,0 +1,54 @@
+import pytest
+
+from repro.common.errors import RetentionViolationError
+from repro.workloads.trace import TraceRecord, TraceReplayer
+
+from tests.conftest import make_regular_ssd, make_timessd
+
+
+def test_strict_mode_raises_instead_of_stopping():
+    ssd = make_timessd(retention_floor_us=10**15)
+    trace = (TraceRecord(i * 100, "W", i % 50, 1) for i in range(50_000))
+    with pytest.raises(RetentionViolationError):
+        TraceReplayer(ssd).replay(trace, stop_on_device_full=False)
+
+
+def test_trim_records_unmap_ranges():
+    ssd = make_regular_ssd()
+    TraceReplayer(ssd).replay(
+        [
+            TraceRecord(0, "W", 10, 4),
+            TraceRecord(1000, "T", 10, 3),
+        ]
+    )
+    assert not ssd.mapping.is_mapped(10)
+    assert not ssd.mapping.is_mapped(12)
+    assert ssd.mapping.is_mapped(13)
+
+
+def test_reads_of_unwritten_space_are_cheap():
+    ssd = make_regular_ssd()
+    stats = TraceReplayer(ssd).replay([TraceRecord(0, "R", 100, 4)])
+    assert stats.pages_read == 4
+    assert stats.response.mean_us == 0
+
+
+def test_empty_trace():
+    ssd = make_regular_ssd()
+    stats = TraceReplayer(ssd).replay([])
+    assert stats.requests == 0
+    assert stats.aborted_at is None
+
+
+def test_out_of_order_timestamps_tolerated():
+    """A timestamp behind device time must not crash the replay (the
+    clock is monotonic; the request simply queues immediately)."""
+    ssd = make_regular_ssd()
+    stats = TraceReplayer(ssd).replay(
+        [
+            TraceRecord(50_000, "W", 0, 1),
+            TraceRecord(10, "W", 1, 1),  # in the past by then
+        ]
+    )
+    assert stats.requests == 2
+    assert ssd.clock.now_us >= 50_000

@@ -1,0 +1,130 @@
+import pytest
+
+from repro.common.units import DAY_US
+from repro.workloads.trace import ReplayStats, TraceRecord, TraceReplayer
+from repro.workloads.msr import MSR_VOLUMES, msr_trace
+from repro.workloads.fiu import FIU_VOLUMES, fiu_trace
+from repro.workloads.synthetic import synthetic_trace, trace_write_volume_pages
+
+from tests.conftest import make_regular_ssd, make_timessd
+
+
+class TestTraceRecord:
+    def test_valid_ops(self):
+        for op in ("R", "W", "T"):
+            TraceRecord(0, op, 0)
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0, "X", 0)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0, "W", 0, npages=0)
+
+
+class TestReplayer:
+    def test_replay_applies_writes(self):
+        ssd = make_regular_ssd()
+        trace = [
+            TraceRecord(100, "W", 0, 2),
+            TraceRecord(5000, "R", 0, 2),
+            TraceRecord(9000, "T", 0, 1),
+        ]
+        stats = TraceReplayer(ssd).replay(trace)
+        assert stats.requests == 3
+        assert stats.pages_written == 2
+        assert stats.pages_read == 2
+        assert not ssd.mapping.is_mapped(0)
+        assert ssd.mapping.is_mapped(1)
+
+    def test_replay_honours_timestamps(self):
+        ssd = make_regular_ssd()
+        TraceReplayer(ssd).replay([TraceRecord(50_000, "W", 0, 1)])
+        assert ssd.clock.now_us >= 50_000
+
+    def test_replay_records_response_times(self):
+        ssd = make_regular_ssd()
+        stats = TraceReplayer(ssd).replay(
+            [TraceRecord(i * 10_000, "W", i, 1) for i in range(10)]
+        )
+        assert stats.response.count == 10
+        assert stats.response.mean_us >= ssd.device.timing.program_us
+
+    def test_replay_stops_cleanly_on_device_full(self):
+        ssd = make_timessd(retention_floor_us=10**15)
+        trace = (
+            TraceRecord(i * 100, "W", i % 50, 1) for i in range(20_000)
+        )
+        stats = TraceReplayer(ssd).replay(trace)
+        assert stats.aborted_at is not None
+
+
+class TestSyntheticTraces:
+    def test_msr_volumes_complete(self):
+        assert set(MSR_VOLUMES) == {"hm", "rsrch", "src", "stg", "ts", "usr", "wdev"}
+
+    def test_fiu_volumes_complete(self):
+        assert set(FIU_VOLUMES) == {
+            "research",
+            "webmail",
+            "online",
+            "web-online",
+            "webusers",
+        }
+
+    def test_trace_is_time_ordered_and_bounded(self):
+        records = list(msr_trace("hm", logical_pages=2048, days=2, seed=1))
+        assert records, "trace should not be empty"
+        stamps = [r.timestamp_us for r in records]
+        assert stamps == sorted(stamps)
+        assert stamps[-1] < 2 * DAY_US
+        assert all(0 <= r.lpa < 2048 for r in records)
+        assert all(r.lpa + r.npages <= 2048 for r in records)
+
+    def test_write_ratio_approximated(self):
+        # Scale intensity up so the sample is large enough to estimate.
+        records = list(
+            msr_trace("rsrch", logical_pages=4096, days=7, seed=2, intensity_scale=50)
+        )
+        assert len(records) > 500
+        writes = sum(1 for r in records if r.op == "W")
+        ratio = writes / len(records)
+        assert abs(ratio - MSR_VOLUMES["rsrch"].write_ratio) < 0.08
+
+    def test_determinism_per_seed(self):
+        a = list(fiu_trace("webmail", 4096, days=7, seed=7, intensity_scale=30))
+        b = list(fiu_trace("webmail", 4096, days=7, seed=7, intensity_scale=30))
+        assert a and a == b
+        c = list(fiu_trace("webmail", 4096, days=7, seed=8, intensity_scale=30))
+        assert a != c
+
+    def test_intensity_scale_scales_volume(self):
+        # Longer horizon so burst randomness averages out (4x intensity
+        # should give roughly 4x the requests).
+        low = list(msr_trace("hm", 4096, days=7, seed=1, intensity_scale=10))
+        high = list(msr_trace("hm", 4096, days=7, seed=1, intensity_scale=40))
+        assert 2.5 * len(low) < len(high) < 6 * len(low)
+
+    def test_hot_pages_dominate(self):
+        from repro.workloads.synthetic import VolumeProfile
+
+        profile = VolumeProfile(
+            name="t", write_ratio=1.0, daily_turnover=2.0, working_set=0.5,
+            hot_fraction=0.1, hot_access_prob=0.9, seq_prob=0.0,
+        )
+        records = list(synthetic_trace(profile, 10_000, days=1, seed=3))
+        working = int(10_000 * 0.5)
+        hot_limit = int(working * 0.1)
+        hot = sum(1 for r in records if r.lpa < hot_limit)
+        assert hot / len(records) > 0.7
+
+    def test_expected_write_volume_helper(self):
+        profile = MSR_VOLUMES["hm"]
+        expected = trace_write_volume_pages(profile, 10_000, days=2)
+        working = int(10_000 * profile.working_set)
+        assert expected == int(profile.daily_turnover * working * 2)
+
+    def test_max_requests_cap(self):
+        records = list(msr_trace("src", 4096, days=7, seed=1, max_requests=100))
+        assert len(records) == 100

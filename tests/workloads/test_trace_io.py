@@ -1,0 +1,92 @@
+import pytest
+
+from repro.common.errors import ReproError
+from repro.workloads.io import load_msr_csv, load_trace_csv, save_trace_csv
+from repro.workloads.msr import msr_trace
+from repro.workloads.trace import TraceRecord
+
+MSR_LINES = [
+    "128166372003061629,hm,0,Read,383496192,32768,334534",
+    "128166372016382155,hm,0,Write,2822144,4096,21706",
+    "128166372026382245,hm,0,Write,2826240,8192,25170",
+]
+
+
+class TestMSRFormat:
+    def test_parses_ops_and_sizes(self):
+        records = load_msr_csv(MSR_LINES, page_size=4096)
+        assert [r.op for r in records] == ["R", "W", "W"]
+        assert records[0].npages == 8  # 32768 / 4096
+        assert records[2].npages == 2  # 8192 / 4096
+
+    def test_time_rebased_to_zero_in_microseconds(self):
+        records = load_msr_csv(MSR_LINES)
+        assert records[0].timestamp_us == 0
+        # Second record is 13321052.6 us of ticks later.
+        assert records[1].timestamp_us == (128166372016382155 - 128166372003061629) // 10
+
+    def test_offsets_become_page_lpas(self):
+        records = load_msr_csv(MSR_LINES, page_size=4096)
+        assert records[1].lpa == 2822144 // 4096
+
+    def test_wraps_into_device_space(self):
+        records = load_msr_csv(MSR_LINES, page_size=4096, logical_pages=100)
+        assert all(r.lpa < 100 for r in records)
+        assert all(r.lpa + r.npages <= 100 for r in records)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            load_msr_csv(["not,a,valid,msr,line,x"])
+        with pytest.raises(ReproError):
+            load_msr_csv(["1,h,0,Frobnicate,0,4096,1"])
+        with pytest.raises(ReproError):
+            load_msr_csv(["1,h,0"])
+
+    def test_blank_lines_skipped(self):
+        records = load_msr_csv([MSR_LINES[0], "", MSR_LINES[1]])
+        assert len(records) == 2
+
+    def test_records_sorted_by_time(self):
+        shuffled = [MSR_LINES[2], MSR_LINES[0], MSR_LINES[1]]
+        records = load_msr_csv(shuffled, rebase_time=False)
+        stamps = [r.timestamp_us for r in records]
+        assert stamps == sorted(stamps)
+
+
+class TestNativeFormat:
+    def test_roundtrip(self, tmp_path):
+        original = list(msr_trace("hm", 2048, days=1, seed=5, intensity_scale=20))
+        path = str(tmp_path / "trace.csv")
+        count = save_trace_csv(original, path)
+        assert count == len(original)
+        loaded = load_trace_csv(path)
+        assert loaded == original
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,nope\n1,W,2,3\n")
+        with pytest.raises(ReproError):
+            load_trace_csv(str(path))
+
+    def test_bad_row_rejected(self, tmp_path):
+        path = tmp_path / "bad2.csv"
+        path.write_text("timestamp_us,op,lpa,npages\nx,W,2,3\n")
+        with pytest.raises(ReproError):
+            load_trace_csv(str(path))
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        path = str(tmp_path / "empty.csv")
+        save_trace_csv([], path)
+        assert load_trace_csv(path) == []
+
+
+class TestReplayCompatibility:
+    def test_msr_csv_replays_against_device(self):
+        from repro.workloads.trace import TraceReplayer
+        from tests.conftest import make_regular_ssd
+
+        ssd = make_regular_ssd()
+        records = load_msr_csv(MSR_LINES, page_size=4096, logical_pages=ssd.logical_pages)
+        stats = TraceReplayer(ssd).replay(records)
+        assert stats.requests == 3
+        assert stats.pages_written == 3
