@@ -1,0 +1,42 @@
+"""Violation reporters: human text and machine JSON."""
+
+import json
+
+
+def format_text(violations):
+    """One ``path:line:col: [rule-id] message`` line each, plus a summary."""
+    lines = [str(v) for v in violations]
+    if violations:
+        by_rule = {}
+        for violation in violations:
+            by_rule[violation.rule_id] = by_rule.get(violation.rule_id, 0) + 1
+        breakdown = ", ".join(
+            "%s x%d" % (rule_id, count)
+            for rule_id, count in sorted(by_rule.items())
+        )
+        lines.append("")
+        lines.append(
+            "%d violation%s (%s)"
+            % (len(violations), "" if len(violations) == 1 else "s", breakdown)
+        )
+    else:
+        lines.append("almanac-lint: clean")
+    return "\n".join(lines)
+
+
+def format_json(violations):
+    """A JSON array of violation objects (stable key order)."""
+    return json.dumps(
+        [
+            {
+                "rule": v.rule_id,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,3 @@
+"""Built-in rule packs.  Importing this package registers every rule."""
+
+from repro.analysis.rules import determinism, hygiene, layering  # noqa: F401

@@ -1,0 +1,167 @@
+"""Hygiene rules: the small sins that turn into silent fidelity bugs.
+
+* mutable default arguments alias state across every call — in a
+  simulator that means state leaking between supposedly-independent
+  experiment runs;
+* bare ``except:`` swallows the typed error taxonomy in
+  :mod:`repro.common.errors` (and ``KeyboardInterrupt``);
+* ``print()`` in a library module corrupts experiment table output —
+  results go through return values or the stats helpers (the CLI and
+  the lint runner are the terminal surface, and are exempt);
+* arithmetic mixing ``*_us`` with ``*_ms`` (or bytes with KiB) operands
+  is how unit bugs slip past review — all simulated time is integer
+  microseconds, all sizes are bytes.
+"""
+
+import ast
+
+from repro.analysis.core import LintRule, register
+
+#: Modules whose job is terminal output.
+PRINT_EXEMPT_MODULES = frozenset(
+    {
+        "repro.cli",
+        "repro.__main__",
+        "repro.analysis.runner",
+        "repro.analysis.__main__",
+    }
+)
+
+#: Identifier suffix -> canonical unit.  Time units are distinct from
+#: one another and from size units; multiplying is how you convert, so
+#: only +/-/comparisons are checked.
+UNIT_SUFFIXES = {
+    "_ns": "ns",
+    "_us": "us",
+    "_ms": "ms",
+    "_bytes": "bytes",
+    "_kib": "KiB",
+    "_mib": "MiB",
+    "_gib": "GiB",
+}
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+@register
+class MutableDefaultRule(LintRule):
+    rule_id = "hygiene-mutable-default"
+    pack = "hygiene"
+    description = "mutable default argument ([], {}, set()) aliases state across calls"
+
+    def check(self, module, project):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._mutable(default):
+                    yield self.violation(
+                        module,
+                        default,
+                        "mutable default argument in %s(); default to None "
+                        "and construct inside the body" % node.name,
+                    )
+
+    @staticmethod
+    def _mutable(node):
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS
+            and not node.args
+            and not node.keywords
+        )
+
+
+@register
+class BareExceptRule(LintRule):
+    rule_id = "hygiene-bare-except"
+    pack = "hygiene"
+    description = "bare except swallows KeyboardInterrupt and the typed error taxonomy"
+
+    def check(self, module, project):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.violation(
+                    module,
+                    node,
+                    "bare except:; catch a repro.common.errors type (or at "
+                    "least Exception)",
+                )
+
+
+@register
+class PrintRule(LintRule):
+    rule_id = "hygiene-print"
+    pack = "hygiene"
+    description = "print() in a library module; return values or use stats helpers"
+
+    def check(self, module, project):
+        if module.module in PRINT_EXEMPT_MODULES:
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    "print() in a library module; return the value (only the "
+                    "CLI surface prints)",
+                )
+
+
+@register
+class UnitMixRule(LintRule):
+    rule_id = "hygiene-unit-mix"
+    pack = "hygiene"
+    description = (
+        "adding/comparing operands with different unit suffixes "
+        "(us vs ms, bytes vs KiB)"
+    )
+
+    def check(self, module, project):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                pairs = [(node.left, node.right)]
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                pairs = list(zip(operands, operands[1:]))
+            else:
+                continue
+            for left, right in pairs:
+                lunit = self._unit_of(left)
+                runit = self._unit_of(right)
+                if lunit and runit and lunit != runit:
+                    yield self.violation(
+                        module,
+                        node,
+                        "mixed units: %s (%s) combined with %s (%s); convert "
+                        "explicitly (see repro.common.units)"
+                        % (self._name_of(left), lunit, self._name_of(right), runit),
+                    )
+
+    @staticmethod
+    def _name_of(node):
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return "<expr>"
+
+    @classmethod
+    def _unit_of(cls, node):
+        name = cls._name_of(node).lower()
+        for suffix, unit in UNIT_SUFFIXES.items():
+            if name.endswith(suffix):
+                return unit
+        return None

@@ -1,0 +1,148 @@
+"""Layering rules: the DESIGN.md import order and the FTL flash monopoly.
+
+The flash device model must not know about FTLs; substrates must not
+reach into the firmware; and nothing outside the two FTL packages may
+program or erase raw flash pages (the erase-before-write and OOB
+back-pointer invariants live entirely inside the FTL — a stray
+``device.program_page`` elsewhere bypasses both).
+"""
+
+import ast
+
+from repro.analysis.core import LintRule, register
+from repro.analysis.imports import (
+    LAYER_OF,
+    LAYER_ORDER,
+    cyclic_packages,
+    module_imports,
+    package_graph,
+    subpackage,
+)
+
+#: Only these subpackages may call the raw flash program/erase APIs.
+FLASH_WRITERS = frozenset({"flash", "ftl", "timessd"})
+
+#: Flash device / block mutation entry points (see repro.flash.device).
+FLASH_API_ATTRS = frozenset({"program_page", "erase_block"})
+
+
+@register
+class LayerOrderRule(LintRule):
+    rule_id = "layering-order"
+    pack = "layering"
+    description = (
+        "repro packages may import their own layer or below "
+        "(common -> flash -> ftl/timessd -> fs/nvme/timekits -> apps)"
+    )
+
+    def check(self, module, project):
+        src = subpackage(module.module)
+        if src is None:  # not a repro subpackage (or the exempt root)
+            return
+        if src not in LAYER_OF:
+            yield self.violation(
+                module,
+                module.tree,
+                "package repro.%s has no layer assignment; add it to "
+                "repro.analysis.imports.LAYER_ORDER" % src,
+            )
+            return
+        for imported in module_imports(module):
+            dst = subpackage(imported.module)
+            if dst is None or dst == src:
+                continue
+            if dst not in LAYER_OF:
+                yield self.violation(
+                    module,
+                    imported,
+                    "import of repro.%s, which has no layer assignment in "
+                    "repro.analysis.imports.LAYER_ORDER" % dst,
+                )
+                continue
+            if LAYER_OF[dst] > LAYER_OF[src]:
+                yield self.violation(
+                    module,
+                    imported,
+                    "upward import: repro.%s (layer %d: %s) must not import "
+                    "repro.%s (layer %d: %s)"
+                    % (
+                        src,
+                        LAYER_OF[src],
+                        "/".join(LAYER_ORDER[LAYER_OF[src]]),
+                        dst,
+                        LAYER_OF[dst],
+                        "/".join(LAYER_ORDER[LAYER_OF[dst]]),
+                    ),
+                )
+
+@register
+class FlashApiRule(LintRule):
+    rule_id = "layering-flash-api"
+    pack = "layering"
+    description = (
+        "only flash/ftl/timessd may call raw flash program/erase APIs "
+        "(program_page, erase_block)"
+    )
+
+    def check(self, module, project):
+        src = subpackage(module.module)
+        if src is None or src in FLASH_WRITERS:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in FLASH_API_ATTRS
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    "%s() is an FTL-only flash API; repro.%s must go through "
+                    "an SSD's read/write/trim interface" % (func.attr, src),
+                )
+
+
+@register
+class ImportCycleRule(LintRule):
+    rule_id = "layering-cycle"
+    pack = "layering"
+    description = "repro subpackages must not form import cycles"
+
+    def check(self, module, project):
+        src = subpackage(module.module)
+        if src is None:
+            return
+        cyclic = cyclic_packages(project)
+        if src not in cyclic:
+            return
+        graph = package_graph(project)
+        for imported in module_imports(module):
+            dst = subpackage(imported.module)
+            if (
+                dst is not None
+                and dst != src
+                and dst in cyclic
+                and dst in graph.get(src, ())
+                and src in _reachable(graph, dst)
+            ):
+                yield self.violation(
+                    module,
+                    imported,
+                    "import of repro.%s completes a package cycle "
+                    "(%s)" % (dst, " <-> ".join(sorted(cyclic & {src, dst}))),
+                )
+                break
+
+
+def _reachable(graph, start):
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for succ in graph.get(node, ()):
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return seen

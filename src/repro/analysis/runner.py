@@ -1,0 +1,76 @@
+"""``python -m repro.analysis`` — run almanac-lint over source trees.
+
+Exit status: 0 clean, 1 violations found, 2 usage error.  The same
+entry point backs the ``repro lint`` CLI subcommand.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.core import all_rules, analyze_paths, rules_by_id
+from repro.analysis.reporting import format_json, format_text
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "almanac-lint: determinism, layering and hygiene checks for "
+            "the simulator (see docs/ANALYSIS.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids or pack names "
+        "(default: every registered rule)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print("%-28s %-12s %s" % (rule.rule_id, rule.pack, rule.description))
+        return 0
+    if args.rules:
+        try:
+            rules = rules_by_id(
+                [part.strip() for part in args.rules.split(",") if part.strip()]
+            )
+        except KeyError as exc:
+            print("error: %s" % exc.args[0], file=sys.stderr)
+            return 2
+    else:
+        rules = all_rules()
+    try:
+        violations = analyze_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_json(violations))
+    else:
+        print(format_text(violations))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,8 @@ Commands:
 * ``demo``        — sixty-second tour of the time-travel property;
 * ``experiment``  — regenerate one paper table/figure by id;
 * ``list``        — list available experiment ids;
-* ``info``        — system inventory and default configuration.
+* ``info``        — system inventory and default configuration;
+* ``lint``        — almanac-lint static checks (see docs/ANALYSIS.md).
 """
 
 import argparse
@@ -205,6 +206,18 @@ def _cmd_selftest(args):
     return 1
 
 
+def _cmd_lint(args):
+    from repro.analysis.runner import main as lint_main
+
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return lint_main(argv)
+
+
 def _cmd_trace_stats(args):
     from repro.workloads.analyze import analyze_trace
 
@@ -247,6 +260,17 @@ def build_parser():
     sub.add_parser(
         "selftest", help="stress a device and audit every invariant"
     ).set_defaults(fn=_cmd_selftest)
+
+    lint = sub.add_parser(
+        "lint", help="almanac-lint: determinism/layering/hygiene checks"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"], help="files or directories"
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--rules", help="comma-separated rule ids or pack names")
+    lint.add_argument("--list-rules", action="store_true")
+    lint.set_defaults(fn=_cmd_lint)
 
     stats = sub.add_parser("trace-stats", help="characterize a trace")
     stats.add_argument(

@@ -13,9 +13,14 @@ class SimClock:
     """Monotonic simulated clock in integer microseconds."""
 
     def __init__(self, start_us=0):
+        if not isinstance(start_us, int) or isinstance(start_us, bool):
+            raise TypeError(
+                "clock start must be integer microseconds, got %r" % (start_us,)
+            )
         if start_us < 0:
             raise ValueError("clock cannot start before t=0")
-        self._now_us = int(start_us)
+        self._now_us = start_us
+        self._watermark_us = start_us
 
     @property
     def now_us(self):
@@ -23,10 +28,20 @@ class SimClock:
         return self._now_us
 
     def advance(self, delta_us):
-        """Move time forward by ``delta_us`` microseconds and return now."""
+        """Move time forward by ``delta_us`` microseconds and return now.
+
+        Deltas must be integers: all simulated time is integer
+        microseconds, and a float delta silently truncating is exactly
+        the kind of drift the determinism lint pack exists to prevent.
+        """
+        if not isinstance(delta_us, int) or isinstance(delta_us, bool):
+            raise TypeError(
+                "clock deltas must be integer microseconds, got %r "
+                "(round explicitly before advancing)" % (delta_us,)
+            )
         if delta_us < 0:
             raise ValueError("cannot advance the clock backwards")
-        self._now_us += int(delta_us)
+        self._now_us += delta_us
         return self._now_us
 
     def advance_to(self, target_us):
@@ -40,5 +55,25 @@ class SimClock:
             self._now_us = int(target_us)
         return self._now_us
 
+    def assert_monotonic(self, label=""):
+        """Debug helper: assert time never moved backwards between calls.
+
+        The clock's own API cannot rewind, but a bug that pokes
+        ``_now_us`` directly (or swaps clock objects mid-run) can.
+        Sprinkle this at checkpoints; each call compares against the
+        high-water mark of the previous one and returns ``now_us``.
+        """
+        if self._now_us < self._watermark_us:
+            where = " at %s" % label if label else ""
+            raise AssertionError(
+                "simulated time moved backwards%s: %d us < high-water %d us"
+                % (where, self._now_us, self._watermark_us)
+            )
+        self._watermark_us = self._now_us
+        return self._now_us
+
     def __repr__(self):
-        return "SimClock(t=%s)" % format_duration(self._now_us)
+        return "SimClock(t=%s, raw=%d us)" % (
+            format_duration(self._now_us),
+            self._now_us,
+        )

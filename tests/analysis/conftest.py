@@ -1,0 +1,58 @@
+"""Fixture helpers: feed source snippets through the lint driver."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.core import analyze_paths, rules_by_id
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Lint one snippet as a standalone (package-less) file.
+
+    Returns the violation list; ``rules=`` narrows to specific rule ids
+    or pack names.
+    """
+
+    def run(source, rules=None, filename="snippet.py"):
+        path = tmp_path / filename
+        path.write_text(textwrap.dedent(source))
+        chosen = rules_by_id(rules) if rules else None
+        return analyze_paths([str(path)], chosen)
+
+    return run
+
+
+@pytest.fixture
+def lint_package(tmp_path):
+    """Lint a synthetic ``repro``-like package tree.
+
+    ``files`` maps dotted module names (``repro.flash.foo``) to source
+    snippets; ``__init__.py`` files are created automatically so module
+    names resolve the same way they do in the real tree.
+    """
+
+    def run(files, rules=None):
+        root = tmp_path / "pkg"
+        root.mkdir(exist_ok=True)
+        for module_name, source in files.items():
+            parts = module_name.split(".")
+            directory = root
+            for part in parts[:-1]:
+                directory = directory / part
+                directory.mkdir(exist_ok=True)
+                init = directory / "__init__.py"
+                if not init.exists():
+                    init.write_text("")
+            (directory / (parts[-1] + ".py")).write_text(
+                textwrap.dedent(source)
+            )
+        chosen = rules_by_id(rules) if rules else None
+        return analyze_paths([str(root)], chosen)
+
+    return run
+
+
+def rule_ids(violations):
+    return [v.rule_id for v in violations]

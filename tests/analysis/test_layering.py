@@ -1,0 +1,105 @@
+"""Layering pack: import order, the FTL flash monopoly, cycles."""
+
+from tests.analysis.conftest import rule_ids
+
+RULES = ["layering"]
+
+
+def test_upward_import_flagged(lint_package):
+    violations = lint_package(
+        {"repro.flash.rogue": "from repro.ftl.ssd import RegularSSD\n"},
+        rules=RULES,
+    )
+    assert rule_ids(violations) == ["layering-order"]
+    assert "upward import" in violations[0].message
+    assert violations[0].line == 1
+
+
+def test_downward_and_same_layer_imports_clean(lint_package):
+    violations = lint_package(
+        {
+            "repro.timessd.ok": (
+                "import repro.flash.device\n"
+                "from repro.common.units import SECOND_US\n"
+                "from repro.ftl.mapping import x\n"  # same layer: allowed
+            ),
+            "repro.bench.ok": "from repro.workloads.msr import msr_trace\n",
+        },
+        rules=RULES,
+    )
+    assert violations == []
+
+
+def test_relative_import_resolved_for_layering(lint_package):
+    violations = lint_package(
+        {
+            "repro.flash.inner": "x = 1\n",
+            "repro.flash.rogue": "from ..ftl import ssd\n",
+        },
+        rules=RULES,
+    )
+    assert rule_ids(violations) == ["layering-order"]
+
+
+def test_unmapped_package_flagged(lint_package):
+    violations = lint_package(
+        {"repro.newthing.core": "x = 1\n"}, rules=RULES
+    )
+    # Both the module and the package __init__ sit in the unmapped package.
+    assert set(rule_ids(violations)) == {"layering-order"}
+    assert all("no layer assignment" in v.message for v in violations)
+
+
+def test_flash_api_call_outside_ftl_flagged(lint_package):
+    violations = lint_package(
+        {
+            "repro.workloads.rogue": (
+                "def hammer(device, ppa, data, oob):\n"
+                "    device.program_page(ppa, data, oob, 0)\n"
+                "    device.erase_block(3)\n"
+            )
+        },
+        rules=RULES,
+    )
+    assert rule_ids(violations) == ["layering-flash-api", "layering-flash-api"]
+    assert "FTL-only" in violations[0].message
+
+
+def test_flash_api_call_inside_ftl_clean(lint_package):
+    violations = lint_package(
+        {
+            "repro.ftl.gc": (
+                "def migrate(device, ppa, data, oob):\n"
+                "    device.program_page(ppa, data, oob, 0)\n"
+            ),
+            "repro.timessd.gc2": (
+                "def migrate(device, pba):\n"
+                "    device.erase_block(pba)\n"
+            ),
+        },
+        rules=RULES,
+    )
+    assert violations == []
+
+
+def test_package_cycle_flagged(lint_package):
+    violations = lint_package(
+        {
+            "repro.workloads.a": "from repro.security.b import x\n",
+            "repro.security.b": "from repro.workloads.a import y\n",
+        },
+        rules=RULES,
+    )
+    assert rule_ids(violations) == ["layering-cycle", "layering-cycle"]
+    assert "cycle" in violations[0].message
+
+
+def test_acyclic_same_layer_imports_not_cyclic(lint_package):
+    violations = lint_package(
+        {
+            "repro.security.uses": "from repro.workloads.gen import x\n",
+            "repro.workloads.gen": "x = 1\n",
+        },
+        rules=RULES,
+    )
+    assert violations == []

@@ -1,0 +1,83 @@
+"""Entry points: ``python -m repro.analysis`` and ``repro lint``."""
+
+import json
+import os
+
+from repro.analysis.core import analyze_paths
+from repro.analysis.runner import main as lint_main
+from repro.cli import main as cli_main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+CLEAN = "from repro.common.units import SECOND_US\nWINDOW_US = 3 * SECOND_US\n"
+DIRTY = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+def test_exit_zero_and_clean_banner_on_clean_file(tmp_path, capsys):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    assert lint_main([str(path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_one_with_rule_id_and_location(tmp_path, capsys):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    assert lint_main([str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "dirty.py:5:12" in out
+    assert "[determinism-wallclock]" in out
+    assert "1 violation" in out
+
+
+def test_json_format_parses(tmp_path, capsys):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    assert lint_main([str(path), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["rule"] == "determinism-wallclock"
+    assert payload[0]["line"] == 5
+
+
+def test_rules_filter_limits_scope(tmp_path, capsys):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY + "def f(x=[]):\n    return x\n")
+    assert lint_main([str(path), "--rules", "hygiene-mutable-default"]) == 1
+    out = capsys.readouterr().out
+    assert "hygiene-mutable-default" in out
+    assert "determinism-wallclock" not in out
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    # A typo'd CI invocation must fail loudly, not report a clean run.
+    assert lint_main([str(tmp_path / "no_such_dir")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_unknown_rule_is_usage_error(tmp_path, capsys):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    assert lint_main([str(path), "--rules", "bogus"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_list_rules_shows_every_pack(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for pack in ("determinism", "layering", "hygiene"):
+        assert pack in out
+
+
+def test_repro_lint_subcommand(tmp_path, capsys):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    assert cli_main(["lint", str(path)]) == 1
+    assert "[determinism-wallclock]" in capsys.readouterr().out
+    assert cli_main(["lint", "--list-rules"]) == 0
+    assert "determinism-wallclock" in capsys.readouterr().out
+
+
+def test_whole_tree_is_clean():
+    # The acceptance gate: the shipped tree has zero violations.
+    assert analyze_paths([SRC_REPRO]) == []

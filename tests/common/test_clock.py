@@ -48,3 +48,31 @@ def test_advance_zero_is_allowed():
 
 def test_repr_mentions_time():
     assert "SimClock" in repr(SimClock(42))
+    assert "42 us" in repr(SimClock(42))
+
+
+@pytest.mark.parametrize("bad", [1.5, 2.0, "10", None, True])
+def test_advance_rejects_non_int_delta(bad):
+    with pytest.raises(TypeError, match="integer microseconds"):
+        SimClock().advance(bad)
+
+
+def test_init_rejects_non_int_start():
+    with pytest.raises(TypeError, match="integer microseconds"):
+        SimClock(1.5)
+
+
+def test_assert_monotonic_passes_and_returns_now():
+    clock = SimClock()
+    assert clock.assert_monotonic() == 0
+    clock.advance(10)
+    assert clock.assert_monotonic() == 10
+    assert clock.assert_monotonic("again") == 10
+
+
+def test_assert_monotonic_detects_rewind():
+    clock = SimClock(100)
+    clock.assert_monotonic()
+    clock._now_us = 50  # simulate a bug poking internal state
+    with pytest.raises(AssertionError, match="moved backwards"):
+        clock.assert_monotonic("checkpoint-3")
