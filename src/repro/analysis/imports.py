@@ -25,7 +25,7 @@ LAYER_ORDER = (
     ("flash",),
     ("ftl", "timessd"),
     ("fs", "nvme", "timekits"),
-    ("workloads", "security", "casestudies", "bench", "cli", "analysis"),
+    ("workloads", "security", "casestudies", "bench", "cli", "analysis", "faults"),
 )
 
 LAYER_OF = {

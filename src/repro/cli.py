@@ -6,7 +6,9 @@ Commands:
 * ``experiment``  — regenerate one paper table/figure by id;
 * ``list``        — list available experiment ids;
 * ``info``        — system inventory and default configuration;
-* ``lint``        — almanac-lint static checks (see docs/ANALYSIS.md).
+* ``lint``        — almanac-lint static checks (see docs/ANALYSIS.md);
+* ``torture``     — crash-point sweep: cut power at every k-th flash op,
+  rebuild, and audit (see docs/FAULTS.md).
 """
 
 import argparse
@@ -206,6 +208,25 @@ def _cmd_selftest(args):
     return 1
 
 
+def _cmd_torture(args):
+    from repro.faults.torture import TortureConfig, run_torture
+
+    config = TortureConfig(
+        ops=args.ops,
+        crash_every=args.crash_every,
+        torn=not args.no_torn,
+        seed=args.seed,
+    )
+    print(
+        "torture: replaying %d host ops, power cut at every %s flash op..."
+        % (config.ops, "%dth" % config.crash_every)
+    )
+    report = run_torture(config)
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
 def _cmd_lint(args):
     from repro.analysis.runner import main as lint_main
 
@@ -271,6 +292,27 @@ def build_parser():
     lint.add_argument("--rules", help="comma-separated rule ids or pack names")
     lint.add_argument("--list-rules", action="store_true")
     lint.set_defaults(fn=_cmd_lint)
+
+    torture = sub.add_parser(
+        "torture", help="crash-point sweep: cut, rebuild, audit"
+    )
+    torture.add_argument(
+        "--ops", type=int, default=400, help="host ops to replay (default 400)"
+    )
+    torture.add_argument(
+        "--crash-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="cut at every K-th flash op (default 1 = exhaustive)",
+    )
+    torture.add_argument("--seed", type=lambda s: int(s, 0), default=0x70B7)
+    torture.add_argument(
+        "--no-torn",
+        action="store_true",
+        help="cut cleanly before the op instead of tearing programs",
+    )
+    torture.set_defaults(fn=_cmd_torture)
 
     stats = sub.add_parser("trace-stats", help="characterize a trace")
     stats.add_argument(

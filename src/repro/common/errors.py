@@ -41,6 +41,82 @@ class RetentionViolationError(DeviceFullError):
         self.floor_us = floor_us
 
 
+class DegradedModeError(DeviceFullError):
+    """The device is in read-only degraded mode and refused a mutation.
+
+    Firmware enters degraded mode when it can no longer honor its own
+    guarantees — the free pool shrank below usable capacity (bad-block
+    retirement), or a write failed even after the retry budget.  Reads
+    and storage-state queries keep working; writes and trims fail fast
+    with this error until :meth:`BaseSSD.clear_degraded` (or a reboot via
+    ``reset_volatile``) and the underlying condition is resolved.
+    """
+
+    def __init__(self, reason):
+        super().__init__("device is in read-only degraded mode: %s" % reason)
+        self.reason = reason
+
+
+class FlashFaultError(ReproError):
+    """Base class for media-level flash faults (see :mod:`repro.faults`)."""
+
+
+class ProgramFailureError(FlashFaultError):
+    """A page program failed at the media level.
+
+    ``permanent`` distinguishes a grown bad block (all further programs
+    to the block fail; firmware must retire it) from a transient failure
+    (firmware retries on a fresh page).  Real NAND reports both via the
+    program status register.
+    """
+
+    def __init__(self, ppa, permanent=False):
+        kind = "permanent" if permanent else "transient"
+        super().__init__("%s program failure at PPA %d" % (kind, ppa))
+        self.ppa = ppa
+        self.permanent = permanent
+
+
+class EraseFailureError(FlashFaultError):
+    """A block erase failed at the media level; the block has gone bad."""
+
+    def __init__(self, pba):
+        super().__init__("erase failure at PBA %d; block is bad" % pba)
+        self.pba = pba
+
+
+class UncorrectableReadError(FlashFaultError):
+    """Raw bit errors exceeded the ECC correction budget for one read."""
+
+    def __init__(self, ppa, bit_errors=None, budget=None):
+        if bit_errors is None:
+            message = "uncorrectable read at PPA %d (injected)" % ppa
+        else:
+            message = "uncorrectable read at PPA %d: %d bit errors > ECC budget %d" % (
+                ppa,
+                bit_errors,
+                budget,
+            )
+        super().__init__(message)
+        self.ppa = ppa
+        self.bit_errors = bit_errors
+        self.budget = budget
+
+
+class PowerCutError(ReproError):
+    """Power was cut at an enumerated flash-op crash point.
+
+    Raised by the fault-injection hooks *before* the interrupted flash
+    operation commits (a torn program persists its partial page first).
+    Everything already on flash stays; all volatile firmware state is
+    lost — recover with ``reset_volatile`` + ``rebuild_from_flash``.
+    """
+
+    def __init__(self, message, op_index=None):
+        super().__init__(message)
+        self.op_index = op_index
+
+
 class QueryError(ReproError):
     """A TimeKits query was malformed or targeted unavailable state."""
 

@@ -1,0 +1,48 @@
+"""Fault injection: deterministic media faults and crash-point torture.
+
+The substrate has three layers:
+
+* :mod:`repro.faults.plan` — *policy*: a seeded :class:`FaultPlan` of
+  armed :class:`FaultSpec` triggers (N-th op, every k-th, probability,
+  address scope);
+* :mod:`repro.faults.hooks` — *mechanics*: :class:`FaultHooks` turns a
+  fired fault into media effects (torn pages, burned pages, grown bad
+  blocks) and the matching exception, at the flash device's hook points;
+* :mod:`repro.faults.torture` — *harness*: replay a workload, cut power
+  at every enumerated flash op, rebuild, and audit that no acknowledged
+  write is lost.
+
+Install on any SSD with ``SSDConfig(faults=FaultHooks(plan))``; the
+default (``faults=None``) is a strict no-op.
+"""
+
+from repro.faults.hooks import BURNED_PAGE, FaultHooks
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FiredFault,
+    KIND_OPS,
+    OpType,
+)
+from repro.faults.torture import (
+    CrashOutcome,
+    TortureConfig,
+    TortureReport,
+    run_torture,
+)
+
+__all__ = [
+    "BURNED_PAGE",
+    "CrashOutcome",
+    "FaultHooks",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+    "KIND_OPS",
+    "OpType",
+    "TortureConfig",
+    "TortureReport",
+    "run_torture",
+]

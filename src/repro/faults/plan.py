@@ -1,0 +1,246 @@
+"""Deterministic fault plans: what goes wrong, and exactly when.
+
+A :class:`FaultPlan` is a seeded schedule of media faults armed against
+the stream of flash operations (reads, programs, erases) a device
+executes.  Each armed :class:`FaultSpec` fires on a trigger —
+
+* ``at_op``       — the N-th flash operation of the run (1-based, global);
+* ``every``       — every k-th operation the spec matches;
+* ``probability`` — an independent seeded coin flip per matching op;
+
+— optionally restricted by an address predicate (a callable, a container
+of addresses, or ``None`` for all).  Because the plan draws only from its
+own ``random.Random(seed)`` and counts only the ops it observes, a given
+(workload, plan) pair replays bit-identically, which is what lets the
+torture harness enumerate every crash point of a run.
+
+The plan is pure policy: it decides *whether* a fault fires.  The
+mechanics of tearing pages and marking blocks bad live in
+:mod:`repro.faults.hooks`.
+"""
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+
+class OpType(enum.Enum):
+    """The three flash operations a fault can interrupt."""
+
+    READ = "read"
+    PROGRAM = "program"
+    ERASE = "erase"
+
+
+class FaultKind(enum.Enum):
+    """Media fault taxonomy (matches the errors in repro.common.errors)."""
+
+    #: Program fails; the page is burned but the block stays healthy.
+    PROGRAM_FAIL = "program-fail"
+    #: Program fails and the block goes bad (grown defect).
+    PROGRAM_FAIL_PERMANENT = "program-fail-permanent"
+    #: Erase fails; the block goes bad.
+    ERASE_FAIL = "erase-fail"
+    #: Read returns more bit errors than the ECC budget corrects.
+    READ_UNCORRECTABLE = "read-uncorrectable"
+    #: Power cut mid-program: partial data + invalid OOB seq tag persist.
+    TORN_PROGRAM = "torn-program"
+    #: Power cut before the op commits (clean crash point).
+    POWER_CUT = "power-cut"
+
+
+#: Which op types each fault kind can interrupt.
+KIND_OPS = {
+    FaultKind.PROGRAM_FAIL: (OpType.PROGRAM,),
+    FaultKind.PROGRAM_FAIL_PERMANENT: (OpType.PROGRAM,),
+    FaultKind.ERASE_FAIL: (OpType.ERASE,),
+    FaultKind.READ_UNCORRECTABLE: (OpType.READ,),
+    FaultKind.TORN_PROGRAM: (OpType.PROGRAM,),
+    FaultKind.POWER_CUT: (OpType.READ, OpType.PROGRAM, OpType.ERASE),
+}
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault: a kind, a trigger, and an optional address scope.
+
+    Exactly one of ``at_op`` / ``every`` / ``probability`` must be set.
+    ``max_fires=None`` means unlimited.  ``torn=True`` on a POWER_CUT spec
+    tears the program the cut lands on instead of cutting cleanly (cuts
+    landing on reads/erases are always clean — those ops are atomic at
+    the media level in this model).
+    """
+
+    kind: FaultKind
+    at_op: int = None
+    every: int = None
+    probability: float = 0.0
+    address: object = None
+    max_fires: int = 1
+    torn: bool = False
+    #: How many times this spec has fired (runtime).
+    fires: int = 0
+    _matched: int = field(default=0, repr=False)
+
+    def __post_init__(self):
+        triggers = sum(
+            1 for t in (self.at_op, self.every) if t is not None
+        ) + (1 if self.probability else 0)
+        if triggers != 1:
+            raise ValueError(
+                "FaultSpec needs exactly one trigger (at_op / every / "
+                "probability), got %d" % triggers
+            )
+
+    def matches_address(self, address):
+        scope = self.address
+        if scope is None:
+            return True
+        if callable(scope):
+            return bool(scope(address))
+        return address in scope
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """Journal entry: which fault fired at which global flash op."""
+
+    op_index: int
+    kind: FaultKind
+    op: OpType
+    address: int
+
+
+class FaultPlan:
+    """A seeded, replayable schedule of media faults.
+
+    The plan keeps its own flash-op counter, incremented once per hook
+    consultation; with no armed spec it observes and never fires, so an
+    empty plan is behaviorally a no-op.
+    """
+
+    def __init__(self, seed=0xFA17):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._specs = []
+        #: Global 1-based index of the last flash op observed.
+        self.ops_seen = 0
+        #: Journal of every fault that fired, in op order.
+        self.fired = []
+
+    # --- Arming -------------------------------------------------------------
+
+    def arm(self, spec):
+        """Arm a :class:`FaultSpec`; returns it for later inspection."""
+        self._specs.append(spec)
+        return spec
+
+    def add_power_cut(self, at_op, torn=False):
+        """Cut power at global flash op ``at_op`` (tear it if a program)."""
+        return self.arm(FaultSpec(FaultKind.POWER_CUT, at_op=at_op, torn=torn))
+
+    def add_torn_program(self, at_op=None, every=None, probability=0.0, address=None):
+        return self.arm(
+            FaultSpec(
+                FaultKind.TORN_PROGRAM,
+                at_op=at_op,
+                every=every,
+                probability=probability,
+                address=address,
+            )
+        )
+
+    def add_program_failure(
+        self,
+        permanent=False,
+        at_op=None,
+        every=None,
+        probability=0.0,
+        address=None,
+        max_fires=1,
+    ):
+        kind = (
+            FaultKind.PROGRAM_FAIL_PERMANENT
+            if permanent
+            else FaultKind.PROGRAM_FAIL
+        )
+        return self.arm(
+            FaultSpec(
+                kind,
+                at_op=at_op,
+                every=every,
+                probability=probability,
+                address=address,
+                max_fires=max_fires,
+            )
+        )
+
+    def add_erase_failure(
+        self, at_op=None, every=None, probability=0.0, address=None, max_fires=1
+    ):
+        return self.arm(
+            FaultSpec(
+                FaultKind.ERASE_FAIL,
+                at_op=at_op,
+                every=every,
+                probability=probability,
+                address=address,
+                max_fires=max_fires,
+            )
+        )
+
+    def add_read_error(
+        self, at_op=None, every=None, probability=0.0, address=None, max_fires=1
+    ):
+        return self.arm(
+            FaultSpec(
+                FaultKind.READ_UNCORRECTABLE,
+                at_op=at_op,
+                every=every,
+                probability=probability,
+                address=address,
+                max_fires=max_fires,
+            )
+        )
+
+    # --- Consultation (called by the hooks, once per flash op) --------------
+
+    def fire(self, op, address):
+        """Advance the op counter; return the FaultKind to inject, or None.
+
+        At most one spec fires per op (first armed wins); a POWER_CUT spec
+        with ``torn=True`` landing on a program is reported as
+        TORN_PROGRAM.
+        """
+        self.ops_seen += 1
+        for spec in self._specs:
+            if spec.max_fires is not None and spec.fires >= spec.max_fires:
+                continue
+            if op not in KIND_OPS[spec.kind]:
+                continue
+            if not spec.matches_address(address):
+                continue
+            if spec.at_op is not None:
+                hit = self.ops_seen == spec.at_op
+            elif spec.every is not None:
+                spec._matched += 1
+                hit = spec._matched % spec.every == 0
+            else:
+                hit = spec.probability > 0 and self._rng.random() < spec.probability
+            if not hit:
+                continue
+            spec.fires += 1
+            kind = spec.kind
+            if kind is FaultKind.POWER_CUT and spec.torn and op is OpType.PROGRAM:
+                kind = FaultKind.TORN_PROGRAM
+            self.fired.append(FiredFault(self.ops_seen, kind, op, address))
+            return kind
+        return None
+
+    def __repr__(self):
+        return "FaultPlan(seed=%#x, specs=%d, ops_seen=%d, fired=%d)" % (
+            self.seed,
+            len(self._specs),
+            self.ops_seen,
+            len(self.fired),
+        )

@@ -1,0 +1,270 @@
+"""Crash-point torture: cut power at every flash op and prove recovery.
+
+The harness replays one deterministic host workload (writes and trims
+over a small working set) against a REAL-content TimeSSD, once cleanly
+to count the flash operations it performs, then once per enumerated
+crash point with a :class:`~repro.faults.plan.FaultPlan` arming a power
+cut at that exact op.  After each cut it rebuilds the firmware tables
+from flash and asserts the recovery contract:
+
+* the device audit (:class:`~repro.timessd.verify.DeviceAuditor`) finds
+  zero invariant violations;
+* every write acknowledged before the cut reads back byte-identical
+  (serial host: a write is acked only after its flash program completed,
+  so its page carries an intact OOB sequence tag and must win the
+  rebuilt mapping);
+* the device accepts and serves new writes afterwards, and a second
+  audit stays clean.
+
+Acked *trims* are exempt: the trim tombstone is volatile RAM state, so a
+crash may resurrect the pre-trim data — the same contract as a real
+SSD's DSM deallocate, which is advisory across power loss.
+
+This module is a library (no printing); the ``repro torture`` CLI
+formats the :class:`TortureReport`.
+"""
+
+import random
+from dataclasses import dataclass, field
+
+from repro.common.errors import PowerCutError, ReproError
+from repro.common.units import SECOND_US
+from repro.faults.hooks import FaultHooks
+from repro.faults.plan import FaultPlan
+from repro.flash.geometry import FlashGeometry
+from repro.timessd.config import ContentMode, TimeSSDConfig
+from repro.timessd.recovery import rebuild_from_flash, simulate_power_loss
+from repro.timessd.ssd import TimeSSD
+from repro.timessd.verify import DeviceAuditor
+
+#: Page size of the torture device — small so REAL-content payloads and
+#: delta compression stay cheap across hundreds of crash points.
+PAGE_SIZE = 256
+
+
+@dataclass
+class TortureConfig:
+    """Knobs of one torture run (defaults suit CI smoke tests)."""
+
+    #: Host operations (writes + trims) in the replayed workload.
+    ops: int = 400
+    #: Distinct LPAs the workload touches.
+    working_set: int = 48
+    #: Fraction of post-fill host ops that are trims.
+    trim_ratio: float = 0.10
+    #: Test every k-th flash op as a crash point (1 = exhaustive).
+    crash_every: int = 1
+    #: Tear the program the cut lands on (vs. cutting cleanly before it).
+    torn: bool = True
+    seed: int = 0x70B7
+    #: Host think time between ops (lets idle-time compression kick in).
+    gap_us: int = 700
+    #: Writes issued after each recovery to prove the device still works.
+    post_recovery_writes: int = 8
+    #: Small enough that the default workload forces GC, migrations and
+    #: delta flushes — the paths a crash must not corrupt.
+    blocks_per_plane: int = 6
+
+
+@dataclass
+class CrashOutcome:
+    """What one crash point did to the recovery contract."""
+
+    cut_at: int
+    acked_ops: int = 0
+    torn_pages: int = 0
+    problems: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.problems
+
+
+@dataclass
+class TortureReport:
+    """Aggregate of a full crash-point sweep."""
+
+    total_flash_ops: int
+    crash_every: int
+    outcomes: list = field(default_factory=list)
+
+    @property
+    def cuts_tested(self):
+        return len(self.outcomes)
+
+    @property
+    def failures(self):
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def summary_lines(self):
+        """Human-readable report (the CLI prints these)."""
+        lines = [
+            "torture: %d flash ops, %d crash points (every %d), %s"
+            % (
+                self.total_flash_ops,
+                self.cuts_tested,
+                self.crash_every,
+                "all recovered" if self.ok else "%d FAILED" % len(self.failures),
+            )
+        ]
+        for outcome in self.failures:
+            lines.append(
+                "  cut@%d (%d ops acked, %d torn pages):"
+                % (outcome.cut_at, outcome.acked_ops, outcome.torn_pages)
+            )
+            lines.extend("    - %s" % p for p in outcome.problems)
+        return lines
+
+
+def build_workload(config):
+    """The deterministic host-op list: ``(op, lpa, payload)`` tuples.
+
+    A sequential fill of the working set, then seeded uniform-random
+    overwrites and trims.  Payloads name their op and LPA so a lost or
+    misdirected write is self-evident on read-back.
+    """
+    rng = random.Random(config.seed)
+    ops = []
+    for i in range(config.ops):
+        if i < config.working_set:
+            kind, lpa = "write", i
+        else:
+            lpa = rng.randrange(config.working_set)
+            kind = "trim" if rng.random() < config.trim_ratio else "write"
+        if kind == "write":
+            payload = (b"op%06d lpa%05d" % (i, lpa)).ljust(PAGE_SIZE, b"\xAB")
+            ops.append(("write", lpa, payload))
+        else:
+            ops.append(("trim", lpa, None))
+    return ops
+
+
+def _build_ssd(config, plan):
+    geometry = FlashGeometry(
+        channels=4,
+        chips_per_channel=1,
+        planes_per_chip=1,
+        blocks_per_plane=config.blocks_per_plane,
+        pages_per_block=16,
+        page_size=PAGE_SIZE,
+    )
+    return TimeSSD(
+        TimeSSDConfig(
+            geometry=geometry,
+            retention_floor_us=2 * SECOND_US,
+            bloom_capacity=128,
+            bloom_segment_max_age_us=SECOND_US // 2,
+            content_mode=ContentMode.REAL,
+            faults=FaultHooks(plan),
+        )
+    )
+
+
+def _replay(ssd, workload, gap_us):
+    """Run host ops until the armed power cut fires.
+
+    Returns ``(acked, completed, cut)``: the last acknowledged op per
+    LPA, the count of ops acked before the cut, and whether a cut fired.
+    An op interrupted by the cut was never acknowledged.
+    """
+    acked = {}
+    completed = 0
+    for op, lpa, payload in workload:
+        try:
+            if op == "write":
+                ssd.write(lpa, payload)
+            else:
+                ssd.trim(lpa)
+        except PowerCutError:
+            return acked, completed, True
+        acked[lpa] = (op, payload)
+        completed += 1
+        ssd.clock.advance(gap_us)
+    return acked, completed, False
+
+
+def count_flash_ops(config, workload=None):
+    """Flash ops the workload performs with no fault armed (clean run)."""
+    if workload is None:
+        workload = build_workload(config)
+    plan = FaultPlan(seed=config.seed)
+    ssd = _build_ssd(config, plan)
+    _replay(ssd, workload, config.gap_us)
+    return plan.ops_seen
+
+
+def run_crash_point(config, cut_at, workload=None):
+    """Cut power at flash op ``cut_at``; returns a :class:`CrashOutcome`."""
+    if workload is None:
+        workload = build_workload(config)
+    plan = FaultPlan(seed=config.seed)
+    plan.add_power_cut(at_op=cut_at, torn=config.torn)
+    ssd = _build_ssd(config, plan)
+    acked, completed, cut = _replay(ssd, workload, config.gap_us)
+    outcome = CrashOutcome(cut_at, acked_ops=completed)
+    if not cut:
+        outcome.problems.append(
+            "armed power cut at flash op %d never fired" % cut_at
+        )
+        return outcome
+
+    simulate_power_loss(ssd)
+    stats = rebuild_from_flash(ssd)
+    outcome.torn_pages = stats["torn_pages"]
+
+    report = DeviceAuditor(ssd).audit()
+    outcome.problems.extend("fsck: %s" % v for v in report.violations)
+
+    # Durability: every acked write must read back byte-identical.
+    for lpa, (op, payload) in sorted(acked.items()):
+        if op != "write":
+            continue  # trim tombstones are volatile (documented above)
+        try:
+            data = ssd.read(lpa)[0]
+        except ReproError as exc:
+            outcome.problems.append(
+                "acked write lpa %d unreadable after recovery: %r" % (lpa, exc)
+            )
+            continue
+        if data != payload:
+            outcome.problems.append(
+                "acked write lpa %d lost: got %r" % (lpa, (data or b"")[:24])
+            )
+
+    # Liveness: the recovered device keeps serving writes.
+    try:
+        for i in range(config.post_recovery_writes):
+            lpa = i % config.working_set
+            payload = (b"post%04d cut%06d" % (i, cut_at)).ljust(
+                PAGE_SIZE, b"\xCD"
+            )
+            ssd.write(lpa, payload)
+            ssd.clock.advance(config.gap_us)
+            if ssd.read(lpa)[0] != payload:
+                outcome.problems.append(
+                    "post-recovery write to lpa %d did not stick" % lpa
+                )
+    except ReproError as exc:
+        outcome.problems.append("post-recovery write failed: %r" % exc)
+    if config.post_recovery_writes:
+        second = DeviceAuditor(ssd).audit()
+        outcome.problems.extend(
+            "post-recovery fsck: %s" % v for v in second.violations
+        )
+    return outcome
+
+
+def run_torture(config=None):
+    """Sweep every ``crash_every``-th crash point of the workload."""
+    if config is None:
+        config = TortureConfig()
+    workload = build_workload(config)
+    total = count_flash_ops(config, workload)
+    report = TortureReport(total_flash_ops=total, crash_every=config.crash_every)
+    for cut_at in range(1, total + 1, config.crash_every):
+        report.outcomes.append(run_crash_point(config, cut_at, workload))
+    return report

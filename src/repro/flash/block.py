@@ -15,7 +15,14 @@ from repro.flash.page import Page, PageState
 class Block:
     """One erase block holding ``pages_per_block`` pages."""
 
-    __slots__ = ("pba", "pages", "erase_count", "_write_pointer", "last_program_us")
+    __slots__ = (
+        "pba",
+        "pages",
+        "erase_count",
+        "_write_pointer",
+        "last_program_us",
+        "failed",
+    )
 
     def __init__(self, pba, pages_per_block):
         self.pba = pba
@@ -24,6 +31,9 @@ class Block:
         self._write_pointer = 0
         #: When the block last received a program (cost-benefit GC "age").
         self.last_program_us = 0
+        #: Grown bad block: programs and erases fail permanently.  This is
+        #: media truth — it survives power loss, unlike firmware tables.
+        self.failed = False
 
     @property
     def write_pointer(self):

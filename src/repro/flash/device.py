@@ -8,6 +8,7 @@ are kept in one place so a single call site cannot forget either.
 
 from dataclasses import dataclass, field
 
+from repro.common.errors import EraseFailureError, ProgramFailureError
 from repro.flash.block import Block
 from repro.flash.geometry import FlashGeometry
 from repro.flash.reliability import ReliabilityEngine
@@ -48,7 +49,7 @@ class ReadResult:
 class FlashDevice:
     """A multi-channel NAND flash array with latency accounting."""
 
-    def __init__(self, geometry=None, timing=None, reliability=None):
+    def __init__(self, geometry=None, timing=None, reliability=None, fault_hooks=None):
         self.geometry = geometry or FlashGeometry()
         self.timing = timing or FlashTiming()
         if reliability is not None:
@@ -57,6 +58,9 @@ class FlashDevice:
             )
         else:
             self.reliability = None
+        #: Optional fault-injection hooks (duck-typed; see repro.faults.hooks).
+        #: None on the happy path — every call site guards on it.
+        self.faults = fault_hooks
         self.blocks = [
             Block(pba, self.geometry.pages_per_block)
             for pba in range(self.geometry.total_blocks)
@@ -85,6 +89,8 @@ class FlashDevice:
         geo = self.geometry
         pba = geo.block_of_page(ppa)
         block = self.blocks[pba]
+        if self.faults is not None:
+            self.faults.on_read(self, ppa)
         data, oob = block.read(geo.page_offset(ppa))
         self.counters.page_reads += 1
         if self.reliability is not None:
@@ -116,6 +122,13 @@ class FlashDevice:
         geo = self.geometry
         pba = geo.block_of_page(ppa)
         block = self.blocks[pba]
+        if block.failed:
+            raise ProgramFailureError(ppa, permanent=True)
+        if self.faults is not None:
+            # May raise (power cut, program failure); a torn program
+            # persists its partial page before raising, so nothing past
+            # this line runs for a failed op — no counters, no timing.
+            self.faults.on_program(self, ppa, data, oob)
         block.program(geo.page_offset(ppa), data, oob)
         block.last_program_us = now_us
         self.counters.page_programs += 1
@@ -134,6 +147,10 @@ class FlashDevice:
         """
         geo = self.geometry
         geo.check_pba(pba)
+        if self.blocks[pba].failed:
+            raise EraseFailureError(pba)
+        if self.faults is not None:
+            self.faults.on_erase(self, pba)
         self.blocks[pba].erase()
         self.counters.block_erases += 1
         return self.chip_timelines.schedule(

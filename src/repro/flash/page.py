@@ -12,6 +12,25 @@ from dataclasses import dataclass
 # Sentinel "no previous version" back-pointer ('-' in the paper's Figure 5).
 NULL_PPA = -1
 
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x):
+    """splitmix64 finalizer: cheap, well-distributed 64-bit mixer."""
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _MASK64
+    return x ^ (x >> 31)
+
+
+def seq_tag_of(lpa, back_pointer, timestamp_us):
+    """The OOB sequence tag real firmware writes as a per-page CRC/seal.
+
+    A program that completes writes a tag consistent with its OOB fields;
+    a torn program (power cut mid-page) leaves an inconsistent tag, which
+    is how ``rebuild_from_flash`` tells a committed page from a torn tail.
+    """
+    return _mix64((lpa & _MASK64) ^ _mix64((back_pointer & _MASK64) ^ _mix64(timestamp_us & _MASK64)))
+
 
 class PageState(enum.Enum):
     """NAND-level state of a page: erased (writable) or programmed."""
@@ -28,16 +47,46 @@ class OOBMetadata:
     housekeeping pages such as translation or delta pages), ``back_pointer``
     is the PPA holding the previous version of the same LPA (``NULL_PPA``
     if none), and ``timestamp_us`` is the simulated write time.
+
+    ``seq_tag`` is the per-page integrity seal (a CRC stand-in) written
+    as the last step of a page program; it defaults to the consistent
+    value, so only deliberately torn pages carry a mismatched tag.
     """
 
     lpa: int
     back_pointer: int = NULL_PPA
     timestamp_us: int = 0
+    seq_tag: int = None
 
     # Tag values used in ``lpa`` for non-user pages.  Real firmware would
     # reserve magic values the same way.
     TRANSLATION_TAG = -2
     DELTA_TAG = -3
+
+    def __post_init__(self):
+        if self.seq_tag is None:
+            object.__setattr__(
+                self,
+                "seq_tag",
+                seq_tag_of(self.lpa, self.back_pointer, self.timestamp_us),
+            )
+
+    @property
+    def intact(self):
+        """True iff the sequence tag matches the OOB fields (no torn write)."""
+        return self.seq_tag == seq_tag_of(
+            self.lpa, self.back_pointer, self.timestamp_us
+        )
+
+    def as_torn(self):
+        """A copy with a mismatched sequence tag, as a torn program leaves."""
+        return OOBMetadata(
+            self.lpa,
+            self.back_pointer,
+            self.timestamp_us,
+            seq_tag=seq_tag_of(self.lpa, self.back_pointer, self.timestamp_us)
+            ^ 0x70521,
+        )
 
 
 class Page:

@@ -16,20 +16,12 @@ import math
 import random
 from dataclasses import dataclass
 
-from repro.common.errors import ReproError
+# Historical home of the class; it moved to the shared error taxonomy so
+# the fault-injection hooks (repro.faults) can raise it too.  Re-exported
+# here for compatibility.
+from repro.common.errors import UncorrectableReadError
 
-
-class UncorrectableReadError(ReproError):
-    """More bit errors than the ECC budget — the page read failed."""
-
-    def __init__(self, ppa, bit_errors, budget):
-        super().__init__(
-            "uncorrectable read at PPA %d: %d bit errors > ECC budget %d"
-            % (ppa, bit_errors, budget)
-        )
-        self.ppa = ppa
-        self.bit_errors = bit_errors
-        self.budget = budget
+__all__ = ["FlashReliability", "ReliabilityEngine", "UncorrectableReadError"]
 
 
 @dataclass(frozen=True)

@@ -35,12 +35,15 @@ class StreamId(enum.Enum):
 
 
 class _BlockInfo:
-    __slots__ = ("kind", "valid", "valid_count")
+    __slots__ = ("kind", "valid", "valid_count", "sealed")
 
     def __init__(self, pages_per_block):
         self.kind = BlockKind.FREE
         self.valid = bytearray(pages_per_block)
         self.valid_count = 0
+        # Force-sealed: treated as full for victim selection even though
+        # pages remain (orphaned partial blocks after crash recovery).
+        self.sealed = False
 
 
 class BlockManager:
@@ -96,8 +99,9 @@ class BlockManager:
         if info.valid_count:
             raise AddressError("releasing block %d with valid pages" % pba)
         info.valid[:] = bytes(len(info.valid))
+        info.sealed = False
         self._forget_active(pba)
-        if (
+        if self.device.blocks[pba].failed or (
             self.block_endurance_cycles is not None
             and self.device.blocks[pba].erase_count >= self.block_endurance_cycles
         ):
@@ -107,6 +111,43 @@ class BlockManager:
         info.kind = BlockKind.FREE
         self._free[self._geo.channel_of_block(pba)].append(pba)
         self._free_count += 1
+
+    def condemn_block(self, pba):
+        """Stop appending to a block that grew a bad page (program failed).
+
+        The block keeps its kind and valid pages; GC will migrate them
+        out and :meth:`release_block` retires it (``Block.failed`` makes
+        it a victim via :meth:`sealed_blocks` despite being partial).
+        """
+        self._forget_active(pba)
+
+    def retire_failed_block(self, pba):
+        """Take a known-bad block out of service immediately.
+
+        Used by crash recovery when the media says ``failed`` but the
+        rebuilt firmware tables have no record of the block: it must not
+        re-enter the free pool.  No-op if already retired.
+        """
+        info = self._info[pba]
+        if info.kind is BlockKind.RETIRED:
+            return
+        if info.kind is BlockKind.FREE:
+            try:
+                self._free[self._geo.channel_of_block(pba)].remove(pba)
+                self._free_count -= 1
+            except ValueError:
+                pass
+        info.valid[:] = bytes(len(info.valid))
+        info.valid_count = 0
+        info.sealed = False
+        self._forget_active(pba)
+        info.kind = BlockKind.RETIRED
+        self.retired_blocks += 1
+
+    def seal_block(self, pba):
+        """Mark a partial block as never-to-be-appended (GC may claim it)."""
+        self._info[pba].sealed = True
+        self._forget_active(pba)
 
     def _forget_active(self, pba):
         # A stream whose (full) active block got reclaimed must open a
@@ -162,6 +203,26 @@ class BlockManager:
             state["blocks"][slot] = pba
         offset = self.device.blocks[pba].write_pointer
         return self._geo.first_page_of_block(pba) + offset
+
+    def adopt_active(self, key, pba, striped=True):
+        """Resume appending into a partially-programmed block.
+
+        Crash recovery uses this to re-open the append points that were
+        active when power was lost, instead of stranding half-written
+        blocks.  Returns False (and adopts nothing) when the stream slot
+        for the block's channel is already occupied.
+        """
+        channels = self._geo.channels if striped else 1
+        state = self._active.get(key)
+        if state is None:
+            state = {"blocks": [None] * channels, "next": 0}
+            self._active[key] = state
+        slot = self._geo.channel_of_block(pba) % channels if striped else 0
+        if state["blocks"][slot] is not None:
+            return False
+        state["blocks"][slot] = pba
+        self._info[pba].sealed = False
+        return True
 
     def close_stream(self, key):
         """Forget the active block(s) of a dynamic stream (e.g. BF dropped).
@@ -235,14 +296,17 @@ class BlockManager:
         """PBAs of full, non-free blocks (optionally of one kind).
 
         A block that is still a stream's append point but already full
-        counts as sealed — nothing more will ever be written to it.
+        counts as sealed — nothing more will ever be written to it.  So
+        do force-sealed partial blocks (crash recovery orphans) and
+        grown-bad blocks awaiting retirement: both take no more programs.
         """
         for pba, info in enumerate(self._info):
-            if info.kind is BlockKind.FREE:
+            if info.kind is BlockKind.FREE or info.kind is BlockKind.RETIRED:
                 continue
             if kind is not None and info.kind is not kind:
                 continue
-            if self.device.blocks[pba].is_full:
+            block = self.device.blocks[pba]
+            if block.is_full or info.sealed or block.failed:
                 yield pba
 
     def select_greedy_victim(self, kind=BlockKind.DATA):

@@ -11,7 +11,12 @@ from dataclasses import dataclass, field
 
 from repro.common.clock import SimClock
 from repro.common.idle import IdlePredictor
-from repro.common.errors import DeviceFullError
+from repro.common.errors import (
+    DegradedModeError,
+    DeviceFullError,
+    EraseFailureError,
+    ProgramFailureError,
+)
 from repro.common.stats import LatencyStats
 from repro.flash.device import FlashDevice
 from repro.flash.geometry import FlashGeometry
@@ -49,6 +54,12 @@ class SSDConfig:
     mapping_cache_entries: int = None
     wear_check_interval: int = 64
     wear_gap_threshold: int = 16
+    #: Optional fault-injection hooks (see :mod:`repro.faults`); installed
+    #: into the flash device.  None keeps the happy path untouched.
+    faults: object = None
+    #: Extra program attempts (remap to a fresh page) before a media
+    #: program failure escapes to the host.
+    program_retry_limit: int = 3
 
     def __post_init__(self):
         if not 0 < self.op_ratio < 1:
@@ -75,7 +86,10 @@ class BaseSSD:
         self.config = config or SSDConfig()
         self.clock = clock or SimClock()
         self.device = FlashDevice(
-            self.config.geometry, self.config.timing, self.config.reliability
+            self.config.geometry,
+            self.config.timing,
+            self.config.reliability,
+            fault_hooks=self.config.faults,
         )
         self.block_manager = BlockManager(
             self.device, self.config.block_endurance_cycles
@@ -94,6 +108,11 @@ class BaseSSD:
         self.read_latency = LatencyStats()
         self.gc_runs = 0
         self.background_gc_runs = 0
+        #: Media program/erase failures the firmware absorbed.
+        self.program_failures = 0
+        self.erase_failures = 0
+        #: Non-None while in read-only degraded mode (the reason string).
+        self.degraded_reason = None
         self._last_io_end_us = self.clock.now_us
         self._idle = IdlePredictor()
         self._gc_is_background = False
@@ -108,10 +127,17 @@ class BaseSSD:
 
     def write(self, lpa, data=None):
         """Write one logical page; returns the response time in us."""
+        self.ensure_writable()
         arrival = self.clock.now_us
         self._before_host_request(arrival)
-        self._ensure_free_space(arrival)
-        complete = self._program_user_page(lpa, data, self.clock.now_us)
+        try:
+            self._ensure_free_space(arrival)
+            complete = self._program_user_page(lpa, data, self.clock.now_us)
+        except (DeviceFullError, ProgramFailureError) as exc:
+            # The device can no longer honor writes: go read-only rather
+            # than fail differently on every subsequent request.
+            self._enter_degraded(exc)
+            raise
         self.clock.advance_to(complete)
         self.host_pages_written += 1
         response = complete - arrival
@@ -144,6 +170,7 @@ class BaseSSD:
 
     def trim(self, lpa):
         """Delete a logical page (e.g. file deletion punched through)."""
+        self.ensure_writable()
         arrival = self.clock.now_us
         self._before_host_request(arrival)
         old = self.mapping.invalidate(lpa)
@@ -202,20 +229,105 @@ class BaseSSD:
             pages += len(block.pages) - block.write_pointer
         return pages
 
+    # --- Degraded mode (read-only fail-safe) ---------------------------------
+
+    def ensure_writable(self):
+        """Raise :class:`DegradedModeError` if mutations must be refused.
+
+        Degraded mode is sticky once entered; it is also (re-)entered
+        here when bad-block retirement has shrunk the pool below what
+        logical capacity plus GC headroom require — a condition reboots
+        cannot clear, because ``Block.failed`` is media truth.
+        """
+        if self.degraded_reason is None and self.block_manager.retired_blocks:
+            reason = self._pool_health_reason()
+            if reason is not None:
+                self._enter_degraded(reason)
+        if self.degraded_reason is not None:
+            raise DegradedModeError(self.degraded_reason)
+
+    def _pool_health_reason(self):
+        geo = self.device.geometry
+        usable = geo.total_blocks - self.block_manager.retired_blocks
+        needed = -(-self.config.logical_pages // geo.pages_per_block)
+        needed += self.config.gc_low_watermark
+        if usable < needed:
+            return (
+                "%d retired blocks leave %d usable, below the %d needed "
+                "for logical capacity plus GC headroom"
+                % (self.block_manager.retired_blocks, usable, needed)
+            )
+        return None
+
+    def _enter_degraded(self, reason):
+        self.degraded_reason = str(reason)
+
+    def clear_degraded(self):
+        """Leave degraded mode (the condition is re-checked on next write)."""
+        self.degraded_reason = None
+
     # --- Write-path internals ----------------------------------------------
 
     def _program_user_page(self, lpa, data, now_us):
-        """Allocate, program and map one user page; returns completion."""
+        """Allocate, program and map one user page; returns completion.
+
+        A media program failure burns the allocated page; firmware remaps
+        to a freshly allocated one and retries, up to the configured
+        budget (the standard NAND program-retry loop).
+        """
         ppa = self.block_manager.allocate_page(StreamId.USER)
         old = self.mapping.update(lpa, ppa)
         now_us = self._translation_delay(now_us)
         back = self._back_pointer_for(lpa, old)
         oob = OOBMetadata(lpa=lpa, back_pointer=back, timestamp_us=now_us)
-        complete = self.device.program_page(ppa, data, oob, now_us)
+        last_failure = None
+        for _attempt in range(self.config.program_retry_limit + 1):
+            try:
+                complete = self.device.program_page(ppa, data, oob, now_us)
+                break
+            except ProgramFailureError as exc:
+                last_failure = exc
+                self._note_program_failure(exc)
+                ppa = self.block_manager.allocate_page(StreamId.USER)
+                self.mapping.update(lpa, ppa)
+        else:
+            # Out of retries: put the mapping back on the last good copy
+            # so acknowledged data stays readable, then let it escape.
+            if old != NULL_PPA:
+                self.mapping.update(lpa, old)
+            else:
+                self.mapping.invalidate(lpa)
+            raise last_failure
         self.block_manager.mark_valid(ppa)
         if old != NULL_PPA:
             self._on_invalidate(lpa, old, now_us)
         return complete
+
+    def program_with_retry(self, allocate, data, oob, now_us):
+        """Program with remap-on-failure for housekeeping writes.
+
+        ``allocate`` is a zero-argument callable returning a fresh PPA
+        (GC migration, delta flush).  Returns ``(ppa, complete_us)``;
+        raises the last :class:`ProgramFailureError` once the retry
+        budget is exhausted.
+        """
+        last_failure = None
+        for _attempt in range(self.config.program_retry_limit + 1):
+            ppa = allocate()
+            try:
+                return ppa, self.device.program_page(ppa, data, oob, now_us)
+            except ProgramFailureError as exc:
+                last_failure = exc
+                self._note_program_failure(exc)
+        raise last_failure
+
+    def _note_program_failure(self, exc):
+        """Account a media program failure; condemn the block if grown bad."""
+        self.program_failures += 1
+        if exc.permanent:
+            self.block_manager.condemn_block(
+                self.device.geometry.block_of_page(exc.ppa)
+            )
 
     def _ensure_free_space(self, now_us):
         guard = 0
@@ -350,8 +462,12 @@ class BaseSSD:
             if not bm.is_valid(ppa):
                 continue
             result = self.device.read_page(ppa, now_us)
-            new_ppa = bm.allocate_page(StreamId.GC)
-            self.device.program_page(new_ppa, result.data, result.oob, now_us)
+            new_ppa, _complete = self.program_with_retry(
+                lambda: bm.allocate_page(StreamId.GC),
+                result.data,
+                result.oob,
+                now_us,
+            )
             bm.mark_valid(new_ppa)
             bm.invalidate_page(ppa)
             self._remap_migrated_page(result.oob, ppa, new_ppa)
@@ -363,9 +479,44 @@ class BaseSSD:
             self.mapping.update(oob.lpa, new_ppa)
 
     def _erase_and_release(self, pba, now_us):
-        self.device.erase_block(pba, now_us)
+        try:
+            self.device.erase_block(pba, now_us)
+        except EraseFailureError:
+            # Grown bad block: release_block sees Block.failed and
+            # retires it instead of returning it to the free pool.
+            self.erase_failures += 1
+            self.block_manager.release_block(pba)
+            return
         self.block_manager.release_block(pba)
         self.wear_leveler.on_erase(now_us)
+
+    # --- Volatile-state lifecycle (power loss) --------------------------------
+
+    def reset_volatile(self):
+        """Drop every RAM-resident table, as an abrupt power cut does.
+
+        Flash contents (data, OOB metadata, wear counters, grown bad
+        blocks) survive; the mapping, block status/validity tables, wear
+        leveler and idle predictor are rebuilt empty.  Callers follow up
+        with a recovery scan (``timessd.recovery.rebuild_from_flash``) to
+        repopulate firmware state from OOB metadata.
+        """
+        config = self.config
+        self.block_manager = BlockManager(
+            self.device, config.block_endurance_cycles
+        )
+        self.mapping = AddressMappingTable(
+            config.logical_pages, config.mapping_cache_entries
+        )
+        self.wear_leveler = WearLeveler(
+            self, config.wear_check_interval, config.wear_gap_threshold
+        )
+        self.degraded_reason = None
+        self._last_io_end_us = self.clock.now_us
+        self._idle = IdlePredictor()
+        self._gc_is_background = False
+        self._translation_reads_seen = 0
+        self._translation_writes_seen = 0
 
 
 class RegularSSD(BaseSSD):

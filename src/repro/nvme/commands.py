@@ -45,9 +45,15 @@ class StatusCode(enum.IntEnum):
     INVALID_FIELD = 0x02
     LBA_OUT_OF_RANGE = 0x80
     CAPACITY_EXCEEDED = 0x81
+    # Media and Data Integrity Errors (spec status code type 0x2).
+    MEDIA_UNRECOVERED_READ = 0x82
+    MEDIA_WRITE_FAULT = 0x83
     # Vendor status: the retention-floor alarm — the device refuses
     # writes rather than recycle protected history (paper §3.4).
     RETENTION_PROTECTED = 0xC0
+    # Vendor status: too many grown bad blocks (or a write-path media
+    # fault) pushed the device into read-only degraded mode.
+    DEGRADED_READ_ONLY = 0xC1
 
 
 @dataclass

@@ -8,7 +8,13 @@ to the state-query engine (TimeKits' device half).
 
 from dataclasses import dataclass
 
-from repro.common.errors import AddressError, RetentionViolationError
+from repro.common.errors import (
+    AddressError,
+    DegradedModeError,
+    ProgramFailureError,
+    RetentionViolationError,
+    UncorrectableReadError,
+)
 from repro.flash.page import NULL_PPA
 from repro.nvme.commands import AdminOpcode, NVMeCommand, NVMeCompletion, Opcode, StatusCode
 from repro.timekits.api import TimeKits
@@ -52,8 +58,17 @@ class NVMeController:
                 result = self._io(command)
         except AddressError:
             return NVMeCompletion(StatusCode.LBA_OUT_OF_RANGE)
+        # DegradedModeError and RetentionViolationError are both
+        # refused-write DeviceFullErrors; they are sibling classes, so
+        # order here is documentation, not shadowing.
+        except DegradedModeError:
+            return NVMeCompletion(StatusCode.DEGRADED_READ_ONLY)
         except RetentionViolationError:
             return NVMeCompletion(StatusCode.RETENTION_PROTECTED)
+        except UncorrectableReadError:
+            return NVMeCompletion(StatusCode.MEDIA_UNRECOVERED_READ)
+        except ProgramFailureError:
+            return NVMeCompletion(StatusCode.MEDIA_WRITE_FAULT)
         except _InvalidOpcode:
             return NVMeCompletion(StatusCode.INVALID_OPCODE)
         except _InvalidField:
@@ -91,8 +106,19 @@ class NVMeController:
             except AddressError:
                 completions.append(NVMeCompletion(StatusCode.LBA_OUT_OF_RANGE))
                 continue
+            except DegradedModeError:
+                completions.append(NVMeCompletion(StatusCode.DEGRADED_READ_ONLY))
+                continue
             except RetentionViolationError:
                 completions.append(NVMeCompletion(StatusCode.RETENTION_PROTECTED))
+                continue
+            except UncorrectableReadError:
+                completions.append(
+                    NVMeCompletion(StatusCode.MEDIA_UNRECOVERED_READ)
+                )
+                continue
+            except ProgramFailureError:
+                completions.append(NVMeCompletion(StatusCode.MEDIA_WRITE_FAULT))
                 continue
             except _InvalidOpcode:
                 completions.append(NVMeCompletion(StatusCode.INVALID_OPCODE))
@@ -120,6 +146,7 @@ class NVMeController:
                 t = ssd.device.read_page(ppa, t).complete_us
             return t
         if command.opcode == Opcode.WRITE:
+            ssd.ensure_writable()
             for i in range(command.nlb):
                 data = command.data[i] if command.data is not None else None
                 ssd._ensure_free_space(t)
@@ -127,6 +154,7 @@ class NVMeController:
                 ssd.host_pages_written += 1
             return t
         if command.opcode == Opcode.DSM:
+            ssd.ensure_writable()
             for i in range(command.nlb):
                 old = ssd.mapping.invalidate(command.slba + i)
                 if old != NULL_PPA:

@@ -156,6 +156,15 @@ class TimeSegmentedBlooms:
         self._segments.append(segment)
         return segment
 
+    def reset(self):
+        """Forget every segment (power loss) and open a fresh active one.
+
+        Segment ids stay monotonic across the reset so records rebuilt
+        after a crash can never collide with pre-crash segment ids.
+        """
+        self._segments = []
+        return self._new_segment()
+
     def group_of(self, ppa):
         return ppa // self.group_size
 

@@ -16,7 +16,7 @@ Two codecs:
 
 from dataclasses import dataclass, field
 
-from repro.common.errors import DeviceFullError, ReproError
+from repro.common.errors import DeviceFullError, ProgramFailureError, ReproError
 from repro.flash.page import OOBMetadata
 from repro.ftl.block_manager import BlockKind
 from repro.timessd import lzf
@@ -224,16 +224,24 @@ class DeltaManager:
         if not state.buffer:
             return now_us
         bm = self._ssd.block_manager
-        try:
-            ppa = bm.allocate_page_keyed(("delta", segment_id), BlockKind.DELTA)
-        except DeviceFullError:
-            self.deferred_flushes += 1
-            return now_us
         page = DeltaPage(state.buffer)
         oob = OOBMetadata(
             lpa=OOBMetadata.DELTA_TAG, back_pointer=-1, timestamp_us=now_us
         )
-        complete = self._ssd.device.program_page(ppa, page, oob, now_us)
+        try:
+            ppa, complete = self._ssd.program_with_retry(
+                lambda: bm.allocate_page_keyed(
+                    ("delta", segment_id), BlockKind.DELTA
+                ),
+                page,
+                oob,
+                now_us,
+            )
+        except (DeviceFullError, ProgramFailureError):
+            # Records stay in the RAM buffer — still retained and
+            # queryable — and the next add_record retries the flush.
+            self.deferred_flushes += 1
+            return now_us
         for record in state.buffer:
             record.flash_ppa = ppa
         state.blocks.add(self._ssd.device.geometry.block_of_page(ppa))
@@ -241,6 +249,19 @@ class DeltaManager:
         state.buffered_bytes = 0
         self.flushed_pages += 1
         return complete
+
+    def reset(self):
+        """Drop all RAM-side delta state (power loss loses the buffers)."""
+        self._segments = {}
+
+    def adopt_block(self, segment_id, pba):
+        """Re-register a delta block found by crash recovery.
+
+        Recovered records are re-homed into one recovery segment; its
+        state must own their blocks so ``drop_segment`` erases them when
+        the recovery segment eventually expires.
+        """
+        self._segment_state(segment_id).blocks.add(pba)
 
     def ram_bytes(self):
         return sum(s.buffered_bytes for s in self._segments.values())

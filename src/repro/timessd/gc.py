@@ -18,6 +18,7 @@ prescribes.
 
 from dataclasses import dataclass
 
+from repro.common.errors import EraseFailureError
 from repro.flash.page import NULL_PPA, PageState
 from repro.ftl.block_manager import BlockKind, StreamId
 from repro.timessd.delta import DeltaRecord
@@ -31,6 +32,8 @@ class ReclaimOutcome:
     migrated_valid: int = 0
     discarded_reclaimable: int = 0
     discarded_expired: int = 0
+    #: Torn/burned pages (mismatched OOB seq tag): no committed version.
+    discarded_garbage: int = 0
     compressed: int = 0
     complete_us: int = 0
 
@@ -57,6 +60,11 @@ class TimeSSDGarbageCollector:
             page = ssd.device.peek_page(ppa)
             if page.state is not PageState.PROGRAMMED:
                 continue
+            if page.oob is None or not page.oob.intact:
+                # Torn or burned program: nothing committed lives here,
+                # so there is no version to retain or compress.
+                outcome.discarded_garbage += 1
+                continue
             if bm.is_valid(ppa):
                 t = self._migrate_valid_page(ppa, t)
                 outcome.migrated_valid += 1
@@ -69,11 +77,18 @@ class TimeSSDGarbageCollector:
             else:
                 t, compressed = self.compress_version_chain(ppa, t)
                 outcome.compressed += compressed
-        t = ssd.device.erase_block(victim_pba, t)
+        erased = True
+        try:
+            t = ssd.device.erase_block(victim_pba, t)
+        except EraseFailureError:
+            # Grown bad block: release_block retires it below.
+            ssd.erase_failures += 1
+            erased = False
         index.clear_block(victim_pba)
         ssd.forget_block_retention(victim_pba)
         bm.release_block(victim_pba)
-        ssd.wear_leveler.on_erase(t)
+        if erased:
+            ssd.wear_leveler.on_erase(t)
         self.blocks_reclaimed += 1
         outcome.complete_us = t
         return outcome
@@ -81,8 +96,12 @@ class TimeSSDGarbageCollector:
     def _migrate_valid_page(self, ppa, now_us):
         ssd = self._ssd
         result = ssd.device.read_page(ppa, now_us)
-        new_ppa = ssd.block_manager.allocate_page(StreamId.GC)
-        t = ssd.device.program_page(new_ppa, result.data, result.oob, result.complete_us)
+        new_ppa, t = ssd.program_with_retry(
+            lambda: ssd.block_manager.allocate_page(StreamId.GC),
+            result.data,
+            result.oob,
+            result.complete_us,
+        )
         ssd.block_manager.mark_valid(new_ppa)
         ssd.block_manager.invalidate_page(ppa)
         ssd._remap_migrated_page(result.oob, ppa, new_ppa)
@@ -148,12 +167,31 @@ class TimeSSDGarbageCollector:
                     compressed=compressing,
                 )
             )
-        # Newest-first linking; the oldest new record continues into the
-        # pre-existing delta chain.
-        for newer, older in zip(records, records[1:]):
+        # Newest-first linking, merged with the pre-existing delta chain.
+        # A plain prepend would assume every new record is newer than the
+        # old head, but orphaned chain fragments (back-pointers broken by
+        # GC page reuse) can be compressed after younger versions were —
+        # the merge keeps the chain strictly newest-first regardless.
+        previous = []
+        tail = previous_head
+        while tail is not None and not tail.dropped:
+            previous.append(tail)
+            tail = tail.back
+        merged = []
+        i = j = 0
+        while i < len(records) and j < len(previous):
+            if records[i].version_ts > previous[j].version_ts:
+                merged.append(records[i])
+                i += 1
+            else:
+                merged.append(previous[j])
+                j += 1
+        merged.extend(records[i:])
+        merged.extend(previous[j:])
+        for newer, older in zip(merged, merged[1:]):
             newer.back = older
-        records[-1].back = previous_head
-        index.set_delta_head(lpa, records[0])
+        merged[-1].back = tail
+        index.set_delta_head(lpa, merged[0])
         for record in records:
             t = ssd.deltas.add_record(record, t)
         for src_ppa, _oob, _data in chain:

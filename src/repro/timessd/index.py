@@ -91,9 +91,16 @@ class TimeTravelIndex:
         """Verify a chain hop: the page must still hold ``lpa`` data older
         than ``newer_ts`` (paper: "correct LPA and a decreasing timestamp").
         """
+        if ppa in self._reclaimable:
+            # Compressed or expired: the version lives on (if at all) in
+            # the delta chain, and the physical page may be a stale copy
+            # at a reused address — not a trustworthy chain hop.
+            return False
         page = self._device.peek_page(ppa)
         if page.state is not PageState.PROGRAMMED or page.oob is None:
             return False
+        if not page.oob.intact:
+            return False  # torn/burned residue: never part of a chain
         return page.oob.lpa == lpa and page.oob.timestamp_us < newer_ts
 
     def walk_data_chain(self, lpa, head_ppa, now_us, include_head=True, until_ts=None):
@@ -118,7 +125,7 @@ class TimeTravelIndex:
             return ChainWalk(entries, t)
         result = self._device.read_page(head_ppa, t)
         t = result.complete_us
-        if result.oob.lpa != lpa:
+        if result.oob.lpa != lpa or not result.oob.intact:
             return ChainWalk(entries, t)
         if include_head:
             entries.append((head_ppa, result.oob, result.data))

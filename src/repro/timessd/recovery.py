@@ -5,51 +5,47 @@ PVT, IMT, PRT, bloom filters and delta buffers.  After power loss a real
 FTL reconstructs its tables by scanning the out-of-band metadata, which
 is exactly why TimeSSD stores (LPA, back-pointer, timestamp) in OOB.
 
-:func:`simulate_power_loss` wipes the volatile state (including the RAM
-delta buffers — real firmware would flush those with capacitor-backed
-power; we model the conservative worst case where they are lost);
+:func:`simulate_power_loss` wipes the volatile state via
+:meth:`TimeSSD.reset_volatile` (including the RAM delta buffers — real
+firmware would flush those with capacitor-backed power; we model the
+conservative worst case where they are lost);
 :func:`rebuild_from_flash` reconstructs:
 
-* AMT + PVT — the newest OOB timestamp per LPA wins the mapping;
-* block states and the free pool — from device write pointers;
+* AMT + PVT — the newest *intact* OOB timestamp per LPA wins the
+  mapping; pages whose OOB sequence tag mismatches (torn or failed
+  programs the cut interrupted) are discarded, never mapped;
+* block states and the free pool — from device write pointers; grown
+  bad blocks (``Block.failed``, media truth) are retired on sight;
+* the append points — partially-programmed data blocks are re-adopted
+  as the user stream's active blocks (one per channel); orphans are
+  force-sealed so GC can reclaim them;
 * the PRT — invalid pages whose (LPA, timestamp) already exist as a
   delta record are reclaimable;
 * the IMT — delta chains relinked from the records found in delta
   pages, newest-first;
 * the bloom chain — one conservative recovery segment retaining every
   surviving invalid page (nothing expires before the floor re-elapses,
-  which errs on the safe side).
+  which errs on the safe side); recovered delta blocks are re-homed
+  under the recovery segment so their wholesale erase still happens
+  when it expires.
 """
 
 from collections import defaultdict
 
-from repro.flash.page import NULL_PPA, OOBMetadata, PageState
-from repro.ftl.block_manager import BlockKind, BlockManager
-from repro.ftl.mapping import AddressMappingTable
+from repro.ftl.block_manager import BlockKind, StreamId
+from repro.flash.page import NULL_PPA, PageState
 from repro.timessd.delta import DeltaPage
-from repro.timessd.index import TimeTravelIndex
 
 
 def simulate_power_loss(ssd):
     """Drop every volatile structure, as an abrupt power cut would.
 
-    The flash array (page contents, OOB, write pointers, erase counts)
-    survives; every RAM table is replaced with an empty shell.  The
-    device is unusable until :func:`rebuild_from_flash` runs.
+    The flash array (page contents, OOB, write pointers, erase counts,
+    grown bad blocks) survives; every RAM table is reset through the
+    device's own :meth:`reset_volatile`.  The device is unusable until
+    :func:`rebuild_from_flash` runs.
     """
-    config = ssd.config
-    ssd.mapping = AddressMappingTable(
-        config.logical_pages, config.mapping_cache_entries
-    )
-    ssd.block_manager = BlockManager(ssd.device, config.block_endurance_cycles)
-    # The fresh BlockManager believes every block is free; rebuild fixes it.
-    ssd.index = TimeTravelIndex(ssd.device)
-    ssd.blooms._segments.clear()
-    ssd.blooms._new_segment()
-    ssd.deltas._segments.clear()
-    ssd._retained_per_block.clear()
-    ssd._trim_tombstones.clear()
-    ssd.retained_pages = 0
+    ssd.reset_volatile()
     return ssd
 
 
@@ -66,16 +62,34 @@ def rebuild_from_flash(ssd):
     user_pages = []  # (ppa, lpa, ts)
     delta_records = []
     delta_blocks = set()
+    partial_blocks = []
+    torn_pages = 0
+    failed_blocks = 0
 
     for pba in range(geo.total_blocks):
         block = device.blocks[pba]
+        if block.failed:
+            # Grown bad block: the media remembers even though the fresh
+            # BST does not.  Take it out of service; any versions it held
+            # are gone (matching a real drive's data loss on bad blocks).
+            bm.retire_failed_block(pba)
+            failed_blocks += 1
+            continue
         if block.is_erased:
             continue
         # Occupied blocks must leave the (fresh) free pool.
         _claim_block(bm, pba)
+        if not block.is_full:
+            partial_blocks.append(pba)
         for offset in range(block.write_pointer):
             page = block.pages[offset]
             if page.state is not PageState.PROGRAMMED or page.oob is None:
+                continue
+            if not page.oob.intact:
+                # Torn tail of the interrupted program (or a burned
+                # page): the sequence tag mismatch proves it never
+                # committed, so it must not corrupt the rebuilt tables.
+                torn_pages += 1
                 continue
             ppa = geo.first_page_of_block(pba) + offset
             if isinstance(page.data, DeltaPage):
@@ -93,29 +107,74 @@ def rebuild_from_flash(ssd):
             if best is None or ts > best[0]:
                 heads[lpa] = (ts, ppa)
 
+    # Delta chains: group, order newest-first, relink, and re-home every
+    # record (and every recovered delta block) into one conservative
+    # recovery segment.
+    recovery_segment = ssd.blooms.live_segments()[-1]
     for pba in delta_blocks:
         bm.set_kind(pba, BlockKind.DELTA)
+        ssd.deltas.adopt_block(recovery_segment.segment_id, pba)
+
+    # Append points: partially-programmed data blocks become the user
+    # stream's active blocks again (one per channel); leftovers are
+    # sealed so GC treats them as reclaimable victims, not free space.
+    for pba in partial_blocks:
+        if pba in delta_blocks:
+            continue  # delta appends reopen lazily via their stream key
+        if not bm.adopt_active(StreamId.USER, pba):
+            bm.seal_block(pba)
+
+    by_lpa = defaultdict(list)
+    for record in delta_records:
+        record.segment_id = recovery_segment.segment_id
+        by_lpa[record.lpa].append(record)
+
+    # A head older than the LPA's delta history means the LPA was
+    # trimmed before the crash and its whole live chain was compressed
+    # and erased: the surviving data page is a stale pre-trim version.
+    # Mapping it would resurrect old data *as current* and corrupt the
+    # chain order; leave the LPA unmapped (trim durability across power
+    # loss is advisory, as on real drives).
+    for lpa, records in by_lpa.items():
+        head = heads.get(lpa)
+        if head is not None and head[0] <= max(r.version_ts for r in records):
+            del heads[lpa]
 
     # AMT + PVT: the newest version of each LPA is the live mapping.
     for lpa, (_ts, ppa) in heads.items():
         ssd.mapping.update(lpa, ppa)
         bm.mark_valid(ppa)
-
-    # Delta chains: group, order newest-first, relink, and re-home every
-    # record into one conservative recovery segment.
-    recovery_segment = ssd.blooms.live_segments()[-1]
-    by_lpa = defaultdict(list)
     delta_identities = set()
-    for record in delta_records:
-        record.segment_id = recovery_segment.segment_id
-        by_lpa[record.lpa].append(record)
-        delta_identities.add((record.lpa, record.version_ts))
+    newest_delta_ts = {}
+    unresolvable = 0
     for lpa, records in by_lpa.items():
         records.sort(key=lambda r: -r.version_ts)
-        for newer, older in zip(records, records[1:]):
+        # A compressed delta decompresses against its reference version
+        # (the head at compression time).  If that reference survives
+        # only in a lost RAM delta buffer, the record is garbage — prune
+        # it so queries cannot hit an unresolvable delta.  Walking
+        # newest-first, a kept record's own version can serve as a later
+        # record's reference, exactly as in version_chain.
+        resolvable = _reachable_data_ts(ssd, lpa, heads.get(lpa))
+        kept = []
+        for record in records:
+            if (
+                record.compressed
+                and record.ref_ts >= 0
+                and record.ref_ts not in resolvable
+            ):
+                unresolvable += 1
+                continue
+            kept.append(record)
+            resolvable.add(record.version_ts)
+            delta_identities.add((record.lpa, record.version_ts))
+        if not kept:
+            continue
+        for newer, older in zip(kept, kept[1:]):
             newer.back = older
-        records[-1].back = None
-        ssd.index.set_delta_head(lpa, records[0])
+        kept[-1].back = None
+        ssd.index.set_delta_head(lpa, kept[0])
+        newest_delta_ts[lpa] = kept[0].version_ts
 
     # Retained invalid pages: everything programmed but not a head.
     retained = 0
@@ -125,6 +184,14 @@ def rebuild_from_flash(ssd):
             continue
         if (lpa, ts) in delta_identities:
             # Already preserved as a delta: the data page is redundant.
+            ssd.index.mark_reclaimable(ppa)
+            reclaimable += 1
+            continue
+        if ts <= newest_delta_ts.get(lpa, -1):
+            # Older than the LPA's recovered delta chain: retaining it
+            # would make a later GC compression prepend an out-of-order
+            # record (deltas link newest-first).  The chain invariant
+            # wins; the stale version is given up.
             ssd.index.mark_reclaimable(ppa)
             reclaimable += 1
             continue
@@ -141,7 +208,33 @@ def rebuild_from_flash(ssd):
         "delta_records": len(delta_records),
         "delta_blocks": len(delta_blocks),
         "free_blocks": bm.free_block_count,
+        "torn_pages": torn_pages,
+        "failed_blocks": failed_blocks,
+        "unresolvable_deltas": unresolvable,
     }
+
+
+def _reachable_data_ts(ssd, lpa, head):
+    """Timestamps of the data-page versions a chain walk can reach.
+
+    Mirrors :meth:`TimeTravelIndex.walk_data_chain` (same hop checks,
+    no timing): these are the versions available as delta references.
+    """
+    out = set()
+    if head is None:
+        return out
+    device = ssd.device
+    _ts, ppa = head
+    page = device.peek_page(ppa)
+    prev_ts = page.oob.timestamp_us
+    out.add(prev_ts)
+    back = page.oob.back_pointer
+    while back != NULL_PPA and ssd.index._page_holds_version(back, lpa, prev_ts):
+        oob = device.peek_page(back).oob
+        out.add(oob.timestamp_us)
+        prev_ts = oob.timestamp_us
+        back = oob.back_pointer
+    return out
 
 
 def _claim_block(bm, pba):

@@ -12,6 +12,7 @@ from collections import defaultdict
 
 from repro.common.errors import (
     DeviceFullError,
+    EraseFailureError,
     QueryError,
     ReproError,
     RetentionViolationError,
@@ -234,7 +235,15 @@ class TimeSSD(BaseSSD):
 
     def erase_delta_block(self, pba, now_us):
         """Erase an expired delta block (no migration, Algorithm 1 line 3)."""
-        self.device.erase_block(pba, now_us)
+        try:
+            self.device.erase_block(pba, now_us)
+        except EraseFailureError:
+            # Grown bad block: release_block retires it below.
+            self.erase_failures += 1
+            self.index.clear_block(pba)
+            self.forget_block_retention(pba)
+            self.block_manager.release_block(pba)
+            return
         self.index.clear_block(pba)
         self.forget_block_retention(pba)
         self.block_manager.release_block(pba)
@@ -243,6 +252,36 @@ class TimeSSD(BaseSSD):
     def retention_window_us(self):
         """Current achieved retention duration (Figure 8 metric)."""
         return self.blooms.retention_us()
+
+    # --- Volatile-state lifecycle (power loss) ---------------------------------
+
+    def reset_volatile(self):
+        """Drop every RAM-resident structure, as an abrupt power cut does.
+
+        Extends :meth:`BaseSSD.reset_volatile` with TimeSSD's volatile
+        state: the time-travel index, bloom-filter chain (segment ids
+        stay monotonic), RAM delta buffers, retained-page census and TRIM
+        tombstones.  A configured retention lock re-seals — after a
+        reboot, history retrieval requires the key again.  Follow up with
+        :func:`repro.timessd.recovery.rebuild_from_flash`.
+        """
+        super().reset_volatile()
+        self.index = TimeTravelIndex(self.device)
+        self.blooms.reset()
+        self.deltas.reset()
+        self.estimator = GCOverheadEstimator(
+            self.config.timing,
+            self.config.gc_overhead_threshold,
+            self.config.gc_overhead_period_writes,
+        )
+        self._idle = IdlePredictor(
+            self.config.idle_alpha, self.config.idle_threshold_us
+        )
+        self.idle_predictor = self._idle
+        self._retained_per_block.clear()
+        self._trim_tombstones.clear()
+        self.retained_pages = 0
+        self.lock_retention()
 
     # --- Encrypted retention (§3.10) ---------------------------------------------
 

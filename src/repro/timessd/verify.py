@@ -86,6 +86,10 @@ class DeviceAuditor:
                 report.problem(
                     "mapped LPA %d head holds LPA %d" % (lpa, page.oob.lpa)
                 )
+            elif not page.oob.intact:
+                report.problem(
+                    "mapped LPA %d head PPA %d has a torn OOB tag" % (lpa, ppa)
+                )
         geo = ssd.device.geometry
         for pba in range(geo.total_blocks):
             for ppa in geo.pages_of_block(pba):
@@ -134,6 +138,10 @@ class DeviceAuditor:
         free_seen = 0
         for pba in range(geo.total_blocks):
             kind = ssd.block_manager.kind(pba)
+            # A failed block may stay DATA until GC migrates it out, but it
+            # must never re-enter the free pool.
+            if ssd.device.blocks[pba].failed and kind is BlockKind.FREE:
+                report.problem("failed block %d is in the free pool" % pba)
             if kind is BlockKind.FREE:
                 free_seen += 1
                 if not ssd.device.blocks[pba].is_erased:

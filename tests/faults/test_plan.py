@@ -1,0 +1,110 @@
+"""FaultPlan policy: triggers, scoping, determinism, the fired journal."""
+
+import pytest
+
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec, FiredFault, OpType
+
+
+class TestSpecValidation:
+    def test_requires_exactly_one_trigger(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.PROGRAM_FAIL)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.PROGRAM_FAIL, at_op=3, every=2)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.ERASE_FAIL, at_op=1, probability=0.5)
+
+    def test_each_single_trigger_is_accepted(self):
+        FaultSpec(FaultKind.PROGRAM_FAIL, at_op=1)
+        FaultSpec(FaultKind.PROGRAM_FAIL, every=4)
+        FaultSpec(FaultKind.PROGRAM_FAIL, probability=0.25)
+
+
+class TestTriggers:
+    def test_at_op_counts_all_flash_ops_globally(self):
+        plan = FaultPlan()
+        plan.add_erase_failure(at_op=3)
+        assert plan.fire(OpType.ERASE, 0) is None  # op 1
+        # Op 2 is a program: it cannot fire an erase fault, but it does
+        # advance the global counter.
+        assert plan.fire(OpType.PROGRAM, 5) is None
+        assert plan.fire(OpType.ERASE, 1) is FaultKind.ERASE_FAIL  # op 3
+        assert plan.ops_seen == 3
+
+    def test_every_counts_only_matching_ops(self):
+        plan = FaultPlan()
+        spec = plan.add_program_failure(every=2, max_fires=None)
+        fired = []
+        for i in range(6):
+            plan.fire(OpType.READ, i)  # reads never match a program fault
+            fired.append(plan.fire(OpType.PROGRAM, i))
+        assert fired == [None, FaultKind.PROGRAM_FAIL] * 3
+        assert spec.fires == 3
+
+    def test_probability_is_seed_deterministic(self):
+        def journal(seed):
+            plan = FaultPlan(seed=seed)
+            plan.add_read_error(probability=0.3, max_fires=None)
+            for i in range(200):
+                plan.fire(OpType.READ, i)
+            return [(f.op_index, f.kind) for f in plan.fired]
+
+        assert journal(7) == journal(7)
+        assert journal(7) != journal(8)
+        assert 20 < len(journal(7)) < 120  # ~60 expected at p=0.3
+
+    def test_max_fires_disarms_the_spec(self):
+        plan = FaultPlan()
+        plan.add_program_failure(every=1, max_fires=2)
+        kinds = [plan.fire(OpType.PROGRAM, 0) for _ in range(5)]
+        assert kinds == [FaultKind.PROGRAM_FAIL] * 2 + [None] * 3
+
+
+class TestScopingAndPrecedence:
+    def test_address_container_scope(self):
+        plan = FaultPlan()
+        plan.add_program_failure(every=1, max_fires=None, address={4, 5})
+        assert plan.fire(OpType.PROGRAM, 3) is None
+        assert plan.fire(OpType.PROGRAM, 4) is FaultKind.PROGRAM_FAIL
+
+    def test_address_callable_scope(self):
+        plan = FaultPlan()
+        plan.add_erase_failure(
+            every=1, max_fires=None, address=lambda pba: pba % 2 == 1
+        )
+        assert plan.fire(OpType.ERASE, 2) is None
+        assert plan.fire(OpType.ERASE, 3) is FaultKind.ERASE_FAIL
+
+    def test_first_armed_spec_wins(self):
+        plan = FaultPlan()
+        plan.add_torn_program(at_op=1)
+        plan.add_program_failure(at_op=1)
+        assert plan.fire(OpType.PROGRAM, 0) is FaultKind.TORN_PROGRAM
+        assert len(plan.fired) == 1
+
+    def test_torn_power_cut_on_a_program_reports_torn(self):
+        plan = FaultPlan()
+        plan.add_power_cut(at_op=1, torn=True)
+        assert plan.fire(OpType.PROGRAM, 0) is FaultKind.TORN_PROGRAM
+
+    def test_torn_power_cut_on_an_erase_stays_clean(self):
+        plan = FaultPlan()
+        plan.add_power_cut(at_op=1, torn=True)
+        assert plan.fire(OpType.ERASE, 0) is FaultKind.POWER_CUT
+
+
+class TestJournal:
+    def test_empty_plan_observes_but_never_fires(self):
+        plan = FaultPlan()
+        for i in range(10):
+            assert plan.fire(OpType.PROGRAM, i) is None
+        assert plan.ops_seen == 10
+        assert plan.fired == []
+
+    def test_fired_journal_records_op_kind_and_address(self):
+        plan = FaultPlan()
+        plan.add_read_error(at_op=2)
+        plan.fire(OpType.PROGRAM, 9)
+        plan.fire(OpType.READ, 42)
+        (entry,) = plan.fired
+        assert entry == FiredFault(2, FaultKind.READ_UNCORRECTABLE, OpType.READ, 42)

@@ -12,6 +12,7 @@ EXAMPLES = [
     "examples/file_time_machine.py",
     "examples/nvme_tour.py",
     "examples/firmware_resilience.py",
+    "examples/fault_drill.py",
 ]
 
 
@@ -39,6 +40,15 @@ def test_file_time_machine_verifies(capsys):
     runpy.run_path("examples/file_time_machine.py", run_name="__main__")
     out = capsys.readouterr().out
     assert out.count("verified: yes") == 3
+
+
+def test_fault_drill_recovers_and_rolls_back(capsys):
+    runpy.run_path("examples/fault_drill.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "torn pages discarded" in out
+    assert "self-audit" in out and "clean" in out
+    assert "byte-exact rollback: yes" in out
+    assert "ERROR" not in out
 
 
 def test_firmware_resilience_example(capsys):
