@@ -5,7 +5,7 @@ layer or below, never above.  ``repro/__init__.py`` and
 ``repro/__main__.py`` are the wiring that re-exports everything, so the
 package root is exempt.
 
-    layer 0   common                      (clock, units, errors, stats)
+    layer 0   common, obs                 (clock, units, errors, stats, metrics)
     layer 1   flash                       (NAND device model)
     layer 2   ftl, timessd                (the two FTLs)
     layer 3   fs, nvme, timekits          (host-visible substrates)
@@ -21,7 +21,7 @@ from dataclasses import dataclass
 ROOT_PACKAGE = "repro"
 
 LAYER_ORDER = (
-    ("common",),
+    ("common", "obs"),
     ("flash",),
     ("ftl", "timessd"),
     ("fs", "nvme", "timekits"),

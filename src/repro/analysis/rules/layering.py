@@ -22,6 +22,11 @@ from repro.analysis.imports import (
 #: Only these subpackages may call the raw flash program/erase APIs.
 FLASH_WRITERS = frozenset({"flash", "ftl", "timessd"})
 
+#: The only subpackages repro.obs may import: the observer must sit
+#: below everything it observes (the observed layers hold a Scope and
+#: push into it; obs never reaches up).
+OBS_ALLOWED_IMPORTS = frozenset({"common", "obs"})
+
 #: Flash device / block mutation entry points (see repro.flash.device).
 FLASH_API_ATTRS = frozenset({"program_page", "erase_block"})
 
@@ -101,6 +106,30 @@ class FlashApiRule(LintRule):
                     node,
                     "%s() is an FTL-only flash API; repro.%s must go through "
                     "an SSD's read/write/trim interface" % (func.attr, src),
+                )
+
+
+@register
+class ObsIsolationRule(LintRule):
+    rule_id = "layering-obs-isolated"
+    pack = "layering"
+    description = (
+        "repro.obs may import only repro.common (and itself): the "
+        "observability substrate must never know about flash/FTL layers"
+    )
+
+    def check(self, module, project):
+        if subpackage(module.module) != "obs":
+            return
+        for imported in module_imports(module):
+            dst = subpackage(imported.module)
+            if dst is not None and dst not in OBS_ALLOWED_IMPORTS:
+                yield self.violation(
+                    module,
+                    imported,
+                    "repro.obs must stay below every observed layer; it "
+                    "cannot import repro.%s — the observed code pushes "
+                    "metrics into a Scope instead" % dst,
                 )
 
 

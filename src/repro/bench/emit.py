@@ -1,0 +1,134 @@
+"""Machine-readable metrics snapshots: BENCH_pr4.json and the CLI demo.
+
+The bench smoke workload replays the same seeded churn on both devices
+and serializes their :meth:`~repro.ftl.ssd.BaseSSD.metrics_snapshot`
+output.  Everything is derived from sim time and an explicit seed, so
+two runs of the same seed produce byte-identical JSON — the perf
+trajectory can diff files across commits, not just eyeball numbers.
+"""
+
+import json
+
+from repro.bench.config import make_bench_regular, make_bench_timessd
+from repro.common.units import SECOND_US
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FlashTiming
+from repro.ftl.ssd import RegularSSD, SSDConfig
+from repro.timessd.config import TimeSSDConfig
+from repro.timessd.ssd import TimeSSD
+
+#: Schema tag: bump only when the JSON layout changes incompatibly.
+SCHEMA = "almanac-metrics/1"
+
+BENCH_FILE = "BENCH_pr4.json"
+
+
+def churn(ssd, writes, seed, working_fraction=0.5, gap_us=1500):
+    """Seeded update/trim/read churn over a bounded working set."""
+    import random
+
+    rng = random.Random(seed)
+    working = max(1, int(ssd.logical_pages * working_fraction))
+    for lpa in range(working):
+        ssd.write(lpa)
+        ssd.clock.advance(gap_us)
+    for _ in range(writes):
+        lpa = rng.randrange(working)
+        roll = rng.random()
+        if roll < 0.70:
+            ssd.write(lpa)
+        elif roll < 0.85:
+            ssd.read(lpa)
+        else:
+            ssd.trim(lpa)
+        ssd.clock.advance(rng.choice((gap_us, 3 * gap_us, 40_000)))
+    return ssd
+
+
+def demo_device(kind="timessd", seed=7, tracing=False):
+    """A small fully-deterministic device for ``repro metrics --demo``."""
+    geometry = FlashGeometry(
+        channels=4, blocks_per_plane=16, pages_per_block=16, page_size=512
+    )
+    if kind == "regular":
+        return RegularSSD(
+            SSDConfig(geometry=geometry, timing=FlashTiming(), tracing=tracing)
+        )
+    if kind == "timessd":
+        return TimeSSD(
+            TimeSSDConfig(
+                geometry=geometry,
+                timing=FlashTiming(),
+                retention_floor_us=2 * SECOND_US,
+                bloom_capacity=128,
+                bloom_segment_max_age_us=SECOND_US // 2,
+                gc_overhead_period_writes=64,
+                tracing=tracing,
+                seed=seed,
+            )
+        )
+    raise ValueError("unknown device kind %r" % (kind,))
+
+
+def demo_snapshot(kind="timessd", seed=7, writes=600, tracing=False):
+    """Run the demo churn; returns the schema-stable result dict."""
+    ssd = demo_device(kind, seed=seed, tracing=tracing)
+    churn(ssd, writes, seed)
+    result = {
+        "schema": SCHEMA,
+        "workload": {"name": "demo-churn", "writes": writes, "seed": seed},
+        "device": kind,
+        "metrics": ssd.metrics_snapshot(),
+    }
+    if tracing:
+        result["trace"] = {
+            "dropped": ssd.obs.trace.dropped,
+            "events": ssd.obs.trace.drain(),
+        }
+    return result
+
+
+def bench_smoke_snapshots(seed=1, writes=1500):
+    """The bench smoke workload on both devices; returns the result dict."""
+    devices = {}
+    for kind, factory in (
+        ("regular", make_bench_regular),
+        ("timessd", make_bench_timessd),
+    ):
+        ssd = factory()
+        # churn() prefills its working set before updating it; 35% of
+        # logical capacity keeps the TimeSSD run clear of the retention
+        # alarm (the floor is 3 days and the smoke run spans seconds, so
+        # every invalidated version stays retained until compressed).
+        churn(ssd, writes, seed, working_fraction=0.35)
+        devices[kind] = {
+            "metrics": ssd.metrics_snapshot(),
+            "summary": {
+                "host_pages_written": ssd.host_pages_written,
+                "host_pages_read": ssd.host_pages_read,
+                "write_amplification": round(ssd.write_amplification, 6),
+                "gc_runs": ssd.gc_runs,
+                "background_gc_runs": ssd.background_gc_runs,
+                "mean_write_us": round(ssd.write_latency.mean_us, 6),
+                "p99_write_us": ssd.write_latency.percentile(99),
+            },
+        }
+    return {
+        "schema": SCHEMA,
+        "workload": {"name": "bench-smoke", "writes": writes, "seed": seed},
+        "devices": devices,
+    }
+
+
+def to_canonical_json(result, indent=2):
+    """Stable rendering: sorted keys, fixed separators, trailing newline."""
+    return json.dumps(result, sort_keys=True, indent=indent) + "\n"
+
+
+def write_bench_json(path=None, seed=1, writes=1500):
+    """Emit ``BENCH_pr4.json``; returns the path written."""
+    path = path or BENCH_FILE
+    result = bench_smoke_snapshots(seed=seed, writes=writes)
+    with open(path, "w") as fh:
+        fh.write(to_canonical_json(result))
+    return path

@@ -7,6 +7,8 @@ Commands:
 * ``list``        — list available experiment ids;
 * ``info``        — system inventory and default configuration;
 * ``lint``        — almanac-lint static checks (see docs/ANALYSIS.md);
+* ``metrics``     — observability snapshots as schema-stable JSON
+  (see docs/OBSERVABILITY.md);
 * ``torture``     — crash-point sweep: cut power at every k-th flash op,
   rebuild, and audit (see docs/FAULTS.md).
 """
@@ -239,6 +241,31 @@ def _cmd_lint(args):
     return lint_main(argv)
 
 
+def _cmd_metrics(args):
+    from repro.bench import emit
+
+    if args.bench:
+        path = emit.write_bench_json(
+            path=args.out, seed=args.seed, writes=args.writes
+        )
+        print("wrote %s" % path)
+        return 0
+    result = emit.demo_snapshot(
+        kind=args.device,
+        seed=args.seed,
+        writes=args.writes,
+        tracing=args.trace,
+    )
+    rendered = emit.to_canonical_json(result)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(rendered)
+        print("wrote %s" % args.out)
+    else:
+        print(rendered, end="")
+    return 0
+
+
 def _cmd_trace_stats(args):
     from repro.workloads.analyze import analyze_trace
 
@@ -313,6 +340,33 @@ def build_parser():
         help="cut cleanly before the op instead of tearing programs",
     )
     torture.set_defaults(fn=_cmd_torture)
+
+    metrics = sub.add_parser(
+        "metrics", help="observability snapshot as schema-stable JSON"
+    )
+    metrics.add_argument(
+        "--demo",
+        action="store_true",
+        help="run the built-in demo churn workload (the default action)",
+    )
+    metrics.add_argument(
+        "--bench",
+        action="store_true",
+        help="run the bench smoke workload on both devices and write %s"
+        % "BENCH_pr4.json",
+    )
+    metrics.add_argument(
+        "--device", choices=("regular", "timessd"), default="timessd"
+    )
+    metrics.add_argument("--writes", type=int, default=600)
+    metrics.add_argument("--seed", type=lambda s: int(s, 0), default=7)
+    metrics.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable event tracing and include the drained ring in the output",
+    )
+    metrics.add_argument("--out", help="write JSON to a file instead of stdout")
+    metrics.set_defaults(fn=_cmd_metrics)
 
     stats = sub.add_parser("trace-stats", help="characterize a trace")
     stats.add_argument(

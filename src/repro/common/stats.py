@@ -39,28 +39,44 @@ class LatencyStats:
     """Latency accumulator with mean and approximate percentiles.
 
     Stores a bounded reservoir of samples so percentile queries stay cheap
-    even for month-long traces.
+    even for month-long traces.  Once the reservoir is full, replacement
+    needs randomness, so a seeded ``random.Random`` is mandatory —
+    determinism by construction (almanac-lint's determinism pack flags
+    call sites that omit it).
+
+    For device-internal response times prefer
+    :class:`repro.obs.metrics.LatencyHistogram`, which needs no RNG and
+    has exact extremes; this reservoir remains for workload-level stats
+    where exact small-sample percentiles matter.
     """
 
     RESERVOIR_SIZE = 8192
 
-    def __init__(self, rng=None):
+    def __init__(self, rng):
+        if rng is None:
+            raise ValueError(
+                "LatencyStats requires a seeded random.Random for reservoir "
+                "sampling (pass random.Random(seed))"
+            )
         self._running = RunningMean()
         self._reservoir = []
         self._rng = rng
         self.total_us = 0
+        self.min_us = 0
         self.max_us = 0
 
     def record(self, latency_us):
         if latency_us < 0:
             raise ValueError("latency cannot be negative")
+        if self._running.count == 0 or latency_us < self.min_us:
+            self.min_us = latency_us
         self._running.add(latency_us)
         self.total_us += latency_us
         if latency_us > self.max_us:
             self.max_us = latency_us
         if len(self._reservoir) < self.RESERVOIR_SIZE:
             self._reservoir.append(latency_us)
-        elif self._rng is not None:
+        else:
             slot = self._rng.randrange(self._running.count)
             if slot < self.RESERVOIR_SIZE:
                 self._reservoir[slot] = latency_us
@@ -74,14 +90,29 @@ class LatencyStats:
         return self._running.mean
 
     def percentile(self, p):
-        """Approximate p-th percentile (0..100) from the sample reservoir."""
+        """Approximate p-th percentile (0..100) from the sample reservoir.
+
+        Linear interpolation between order statistics; the extremes are
+        exact — ``percentile(0)`` is the true minimum and
+        ``percentile(100)`` the true maximum even after reservoir
+        eviction.  An empty accumulator reports 0.0.
+        """
         if not 0 <= p <= 100:
             raise ValueError("percentile must be in [0, 100]")
         if not self._reservoir:
             return 0.0
+        if p == 0:
+            return float(self.min_us)
+        if p == 100:
+            return float(self.max_us)
         ordered = sorted(self._reservoir)
-        index = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
-        return float(ordered[index])
+        if len(ordered) == 1:
+            return float(ordered[0])
+        position = p / 100.0 * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return float(ordered[lower] + (ordered[upper] - ordered[lower]) * fraction)
 
     def __repr__(self):
         return "LatencyStats(n=%d, mean=%.1fus, p99=%.1fus)" % (

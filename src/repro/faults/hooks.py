@@ -44,12 +44,29 @@ class FaultHooks:
     def __init__(self, plan):
         self.plan = plan
 
+    @staticmethod
+    def _note_fired(device, kind, op, address):
+        """Account the fired fault in the device's observability scope."""
+        metrics = device.obs.metrics
+        metrics.counter("fault.fired").inc()
+        metrics.counter("fault.%s" % kind.name).inc()
+        tr = device.obs.trace
+        if tr.enabled:
+            tr.emit(
+                "fault",
+                kind.name,
+                device.last_op_start_us,
+                op=op.name,
+                address=address,
+            )
+
     # --- Hook points (called by FlashDevice before each op commits) ---------
 
     def on_read(self, device, ppa):
         kind = self.plan.fire(OP_READ, ppa)
         if kind is None:
             return
+        self._note_fired(device, kind, OP_READ, ppa)
         if kind is FaultKind.POWER_CUT:
             raise PowerCutError(
                 "power cut before read of PPA %d (flash op %d)"
@@ -63,6 +80,7 @@ class FaultHooks:
         kind = self.plan.fire(OP_PROGRAM, ppa)
         if kind is None:
             return
+        self._note_fired(device, kind, OP_PROGRAM, ppa)
         if kind is FaultKind.POWER_CUT:
             raise PowerCutError(
                 "power cut before program of PPA %d (flash op %d)"
@@ -87,6 +105,7 @@ class FaultHooks:
         kind = self.plan.fire(OP_ERASE, pba)
         if kind is None:
             return
+        self._note_fired(device, kind, OP_ERASE, pba)
         if kind is FaultKind.POWER_CUT:
             raise PowerCutError(
                 "power cut before erase of PBA %d (flash op %d)"

@@ -13,6 +13,7 @@ from repro.flash.block import Block
 from repro.flash.geometry import FlashGeometry
 from repro.flash.reliability import ReliabilityEngine
 from repro.flash.timing import ChannelTimelines, FlashTiming
+from repro.obs import Scope
 
 
 @dataclass
@@ -49,7 +50,14 @@ class ReadResult:
 class FlashDevice:
     """A multi-channel NAND flash array with latency accounting."""
 
-    def __init__(self, geometry=None, timing=None, reliability=None, fault_hooks=None):
+    def __init__(
+        self,
+        geometry=None,
+        timing=None,
+        reliability=None,
+        fault_hooks=None,
+        obs=None,
+    ):
         self.geometry = geometry or FlashGeometry()
         self.timing = timing or FlashTiming()
         if reliability is not None:
@@ -61,6 +69,9 @@ class FlashDevice:
         #: Optional fault-injection hooks (duck-typed; see repro.faults.hooks).
         #: None on the happy path — every call site guards on it.
         self.faults = fault_hooks
+        #: Start time of the op currently consulting the fault hooks —
+        #: hooks have no clock of their own, so trace events read this.
+        self.last_op_start_us = 0
         self.blocks = [
             Block(pba, self.geometry.pages_per_block)
             for pba in range(self.geometry.total_blocks)
@@ -72,6 +83,16 @@ class FlashDevice:
             self.geometry.channels * self.geometry.chips_per_channel
         )
         self.counters = OpCounters()
+        #: Observability scope shared with the owning FTL (a standalone
+        #: device gets a private one so metrics are always recorded).
+        self.obs = obs if obs is not None else Scope()
+        metrics = self.obs.metrics
+        self._m_reads = metrics.counter("flash.reads")
+        self._m_programs = metrics.counter("flash.programs")
+        self._m_erases = metrics.counter("flash.erases")
+        self._h_read_us = metrics.histogram("flash.read_us")
+        self._h_program_us = metrics.histogram("flash.program_us")
+        self._h_erase_us = metrics.histogram("flash.erase_us")
 
     def _chip_index(self, pba):
         channel, chip = self.geometry.chip_of_block(pba)
@@ -90,6 +111,7 @@ class FlashDevice:
         pba = geo.block_of_page(ppa)
         block = self.blocks[pba]
         if self.faults is not None:
+            self.last_op_start_us = now_us
             self.faults.on_read(self, ppa)
         data, oob = block.read(geo.page_offset(ppa))
         self.counters.page_reads += 1
@@ -103,6 +125,11 @@ class FlashDevice:
         complete = self.timelines.schedule(
             geo.channel_of_page(ppa), cell_done, self.timing.bus_transfer_us
         )
+        self._m_reads.inc()
+        self._h_read_us.record(complete - now_us)
+        tr = self.obs.trace
+        if tr.enabled:
+            tr.emit("flash-op", "read", complete, ppa=ppa, start_us=int(now_us))
         return ReadResult(data, oob, complete)
 
     def read_oob(self, ppa, now_us=0):
@@ -128,6 +155,7 @@ class FlashDevice:
             # May raise (power cut, program failure); a torn program
             # persists its partial page before raising, so nothing past
             # this line runs for a failed op — no counters, no timing.
+            self.last_op_start_us = now_us
             self.faults.on_program(self, ppa, data, oob)
         block.program(geo.page_offset(ppa), data, oob)
         block.last_program_us = now_us
@@ -135,9 +163,15 @@ class FlashDevice:
         transferred = self.timelines.schedule(
             geo.channel_of_page(ppa), now_us, self.timing.bus_transfer_us
         )
-        return self.chip_timelines.schedule(
+        complete = self.chip_timelines.schedule(
             self._chip_index(pba), transferred, self.timing.program_us
         )
+        self._m_programs.inc()
+        self._h_program_us.record(complete - now_us)
+        tr = self.obs.trace
+        if tr.enabled:
+            tr.emit("flash-op", "program", complete, ppa=ppa, start_us=int(now_us))
+        return complete
 
     def erase_block(self, pba, now_us=0):
         """Erase a block; returns the completion time.
@@ -150,12 +184,19 @@ class FlashDevice:
         if self.blocks[pba].failed:
             raise EraseFailureError(pba)
         if self.faults is not None:
+            self.last_op_start_us = now_us
             self.faults.on_erase(self, pba)
         self.blocks[pba].erase()
         self.counters.block_erases += 1
-        return self.chip_timelines.schedule(
+        complete = self.chip_timelines.schedule(
             self._chip_index(pba), now_us, self.timing.erase_us
         )
+        self._m_erases.inc()
+        self._h_erase_us.record(complete - now_us)
+        tr = self.obs.trace
+        if tr.enabled:
+            tr.emit("flash-op", "erase", complete, pba=pba, start_us=int(now_us))
+        return complete
 
     # --- Untimed peeks (host-side tooling / assertions only) ----------------
 

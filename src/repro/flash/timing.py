@@ -55,6 +55,7 @@ class ChannelTimelines:
         if channels <= 0:
             raise ValueError("need at least one channel")
         self._busy_until = [0] * channels
+        self._busy_us = [0] * channels
 
     @property
     def channels(self):
@@ -63,6 +64,19 @@ class ChannelTimelines:
     def busy_until(self, channel):
         self._check(channel)
         return self._busy_until[channel]
+
+    def busy_time_us(self, channel):
+        """Total microseconds ``channel`` has been occupied so far."""
+        self._check(channel)
+        return self._busy_us[channel]
+
+    def total_busy_us(self):
+        """Occupied time summed over all channels."""
+        return sum(self._busy_us)
+
+    def busy_times(self):
+        """Per-channel occupied time, as a list indexed by channel."""
+        return list(self._busy_us)
 
     def schedule(self, channel, now_us, latency_us):
         """Occupy ``channel`` for ``latency_us`` starting no earlier than now.
@@ -75,6 +89,7 @@ class ChannelTimelines:
         start = max(now_us, self._busy_until[channel])
         end = start + latency_us
         self._busy_until[channel] = end
+        self._busy_us[channel] += latency_us
         return end
 
     def earliest_free(self, now_us):

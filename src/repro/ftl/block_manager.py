@@ -112,6 +112,20 @@ class BlockManager:
         self._free[self._geo.channel_of_block(pba)].append(pba)
         self._free_count += 1
 
+    def claim_block(self, pba, kind=BlockKind.DATA):
+        """Remove an occupied block from a fresh manager's free pool.
+
+        Crash recovery builds a new :class:`BlockManager` (all blocks
+        free) and then claims every block the media shows as programmed.
+        No-op if the block is already claimed.
+        """
+        try:
+            self._free[self._geo.channel_of_block(pba)].remove(pba)
+        except ValueError:
+            return
+        self._free_count -= 1
+        self.set_kind(pba, kind)
+
     def condemn_block(self, pba):
         """Stop appending to a block that grew a bad page (program failed).
 

@@ -1,0 +1,90 @@
+"""Power-loss recovery for the baseline (regular) SSD.
+
+The regular FTL keeps only the AMT, BST and PVT in RAM; after an abrupt
+power cut it reconstructs them by scanning each block's out-of-band
+metadata, exactly like :mod:`repro.timessd.recovery` minus every
+retention structure:
+
+* AMT + PVT — the newest *intact* OOB timestamp per LPA wins the
+  mapping; pages whose OOB sequence tag mismatches (torn or burned
+  programs) are discarded, never mapped;
+* block states and the free pool — from device write pointers; grown
+  bad blocks (``Block.failed``, media truth) are retired on sight;
+* append points — partially-programmed blocks are re-adopted as the
+  user stream's active blocks (one per channel); orphans are
+  force-sealed so GC can reclaim, not append to, them.
+
+Use with :meth:`~repro.ftl.ssd.BaseSSD.reset_volatile`::
+
+    ssd.reset_volatile()
+    stats = rebuild_from_flash(ssd)
+"""
+
+from repro.flash.page import PageState
+from repro.ftl.block_manager import StreamId
+
+
+def simulate_power_loss(ssd):
+    """Drop every volatile structure, as an abrupt power cut would."""
+    ssd.reset_volatile()
+    return ssd
+
+
+def rebuild_from_flash(ssd):
+    """Reconstruct the baseline FTL's tables by scanning OOB metadata.
+
+    Returns a dict of recovery statistics.
+    """
+    device = ssd.device
+    geo = device.geometry
+    bm = ssd.block_manager
+
+    heads = {}  # lpa -> (timestamp, ppa)
+    partial_blocks = []
+    scanned_pages = 0
+    torn_pages = 0
+    failed_blocks = 0
+
+    for pba in range(geo.total_blocks):
+        block = device.blocks[pba]
+        if block.failed:
+            bm.retire_failed_block(pba)
+            failed_blocks += 1
+            continue
+        if block.is_erased:
+            continue
+        bm.claim_block(pba)
+        if not block.is_full:
+            partial_blocks.append(pba)
+        for offset in range(block.write_pointer):
+            page = block.pages[offset]
+            if page.state is not PageState.PROGRAMMED or page.oob is None:
+                continue
+            if not page.oob.intact:
+                torn_pages += 1
+                continue
+            lpa = page.oob.lpa
+            if lpa < 0:
+                continue  # housekeeping page
+            scanned_pages += 1
+            ppa = geo.first_page_of_block(pba) + offset
+            ts = page.oob.timestamp_us
+            best = heads.get(lpa)
+            if best is None or ts > best[0]:
+                heads[lpa] = (ts, ppa)
+
+    for pba in partial_blocks:
+        if not bm.adopt_active(StreamId.USER, pba):
+            bm.seal_block(pba)
+
+    for lpa, (_ts, ppa) in heads.items():
+        ssd.mapping.update(lpa, ppa)
+        bm.mark_valid(ppa)
+
+    return {
+        "mapped_lpas": len(heads),
+        "scanned_pages": scanned_pages,
+        "free_blocks": bm.free_block_count,
+        "torn_pages": torn_pages,
+        "failed_blocks": failed_blocks,
+    }

@@ -17,7 +17,6 @@ from repro.common.errors import (
     EraseFailureError,
     ProgramFailureError,
 )
-from repro.common.stats import LatencyStats
 from repro.flash.device import FlashDevice
 from repro.flash.geometry import FlashGeometry
 from repro.flash.page import NULL_PPA, OOBMetadata
@@ -25,6 +24,7 @@ from repro.flash.timing import FlashTiming
 from repro.ftl.block_manager import BlockKind, BlockManager, StreamId
 from repro.ftl.mapping import AddressMappingTable
 from repro.ftl.wear_leveling import WearLeveler
+from repro.obs import Scope
 
 
 @dataclass
@@ -60,6 +60,11 @@ class SSDConfig:
     #: Extra program attempts (remap to a fresh page) before a media
     #: program failure escapes to the host.
     program_retry_limit: int = 3
+    #: Record structured events in the device's trace ring (see
+    #: :mod:`repro.obs`).  Off by default: metrics are always on, the
+    #: event ring costs one branch per candidate event when disabled.
+    tracing: bool = False
+    trace_capacity: int = 4096
 
     def __post_init__(self):
         if not 0 < self.op_ratio < 1:
@@ -85,11 +90,18 @@ class BaseSSD:
     def __init__(self, config=None, clock=None):
         self.config = config or SSDConfig()
         self.clock = clock or SimClock()
+        #: Per-device observability scope — metrics registry plus trace
+        #: ring, shared with the flash device and the NVMe controller.
+        self.obs = Scope(
+            tracing=self.config.tracing,
+            trace_capacity=self.config.trace_capacity,
+        )
         self.device = FlashDevice(
             self.config.geometry,
             self.config.timing,
             self.config.reliability,
             fault_hooks=self.config.faults,
+            obs=self.obs,
         )
         self.block_manager = BlockManager(
             self.device, self.config.block_endurance_cycles
@@ -104,8 +116,17 @@ class BaseSSD:
         )
         self.host_pages_written = 0
         self.host_pages_read = 0
-        self.write_latency = LatencyStats()
-        self.read_latency = LatencyStats()
+        metrics = self.obs.metrics
+        # Host response-time histograms double as the legacy
+        # write_latency/read_latency attributes (same record/mean_us/
+        # percentile API the old reservoirs exposed).
+        self.write_latency = metrics.histogram("ftl.write_us")
+        self.read_latency = metrics.histogram("ftl.read_us")
+        self._m_host_writes = metrics.counter("ftl.host_writes")
+        self._m_host_reads = metrics.counter("ftl.host_reads")
+        self._m_gc_runs = metrics.counter("gc.runs")
+        self._m_background_gc_runs = metrics.counter("gc.background_runs")
+        self._m_gc_migrated = metrics.counter("gc.pages_migrated")
         self.gc_runs = 0
         self.background_gc_runs = 0
         #: Media program/erase failures the firmware absorbed.
@@ -140,6 +161,7 @@ class BaseSSD:
             raise
         self.clock.advance_to(complete)
         self.host_pages_written += 1
+        self._m_host_writes.inc()
         response = complete - arrival
         self.write_latency.record(response)
         self._after_host_request(self.clock.now_us, wrote=True)
@@ -157,6 +179,7 @@ class BaseSSD:
         ppa = self.mapping.lookup(lpa)
         start = self._translation_delay(arrival)
         self.host_pages_read += 1
+        self._m_host_reads.inc()
         if ppa == NULL_PPA:
             self.read_latency.record(0)
             self._after_host_request(self.clock.now_us, wrote=False)
@@ -204,6 +227,32 @@ class BaseSSD:
         if self.host_pages_written == 0:
             return 0.0
         return self.device.counters.page_programs / self.host_pages_written
+
+    def _refresh_gauges(self):
+        """Update point-in-time gauges just before a snapshot."""
+        metrics = self.obs.metrics
+        counters = self.device.counters
+        metrics.gauge("ftl.wa.flash_programs").set(counters.page_programs)
+        metrics.gauge("ftl.wa.host_writes").set(self.host_pages_written)
+        metrics.gauge("ftl.write_amplification").set(
+            round(self.write_amplification, 6)
+        )
+        metrics.gauge("ftl.free_blocks").set(self.block_manager.free_block_count)
+        metrics.gauge("ftl.retired_blocks").set(self.block_manager.retired_blocks)
+        metrics.gauge("sim.now_us").set(self.clock.now_us)
+        timelines = self.device.timelines
+        metrics.gauge("flash.busy_us_total").set(timelines.total_busy_us())
+        for channel, busy in enumerate(timelines.busy_times()):
+            metrics.gauge("flash.channel_busy_us.%d" % channel).set(busy)
+        chips = self.device.chip_timelines
+        metrics.gauge("flash.chip_busy_us_total").set(chips.total_busy_us())
+        for chip, busy in enumerate(chips.busy_times()):
+            metrics.gauge("flash.chip_busy_us.%d" % chip).set(busy)
+
+    def metrics_snapshot(self):
+        """JSON-stable snapshot of every metric on this device."""
+        self._refresh_gauges()
+        return self.obs.metrics.snapshot()
 
     def endurance_report(self):
         """Device health: wear consumed, spread, retired blocks."""
@@ -334,6 +383,7 @@ class BaseSSD:
         while self.block_manager.free_block_count <= self.config.gc_low_watermark:
             self._collect_garbage(now_us)
             self.gc_runs += 1
+            self._m_gc_runs.inc()
             guard += 1
             if guard > self.device.geometry.total_blocks:
                 raise DeviceFullError("GC cannot make progress")
@@ -411,6 +461,7 @@ class BaseSSD:
                 except DeviceFullError:
                     break
                 self.background_gc_runs += 1
+                self._m_background_gc_runs.inc()
                 t += round_bound
         finally:
             self._gc_is_background = False
@@ -452,12 +503,16 @@ class BaseSSD:
         Used both by GC and by wear leveling.  Migrated pages keep their
         OOB metadata (same version: same timestamp and back-pointer).
         """
-        self._migrate_valid_pages(pba, now_us)
+        migrated = self._migrate_valid_pages(pba, now_us)
         self._erase_and_release(pba, now_us)
+        tr = self.obs.trace
+        if tr.enabled:
+            tr.emit("gc", "reclaim", now_us, pba=pba, migrated=migrated)
 
     def _migrate_valid_pages(self, pba, now_us):
         geo = self.device.geometry
         bm = self.block_manager
+        migrated = 0
         for ppa in geo.pages_of_block(pba):
             if not bm.is_valid(ppa):
                 continue
@@ -471,6 +526,9 @@ class BaseSSD:
             bm.mark_valid(new_ppa)
             bm.invalidate_page(ppa)
             self._remap_migrated_page(result.oob, ppa, new_ppa)
+            migrated += 1
+        self._m_gc_migrated.inc(migrated)
+        return migrated
 
     def _remap_migrated_page(self, oob, old_ppa, new_ppa):
         """Point the mapping at the migrated copy (no invalidation hook)."""

@@ -44,6 +44,32 @@ class NVMeController:
         self.ssd = ssd
         self._kits = TimeKits(ssd) if isinstance(ssd, TimeSSD) else None
         self.commands_processed = 0
+        #: Shared with the SSD: per-opcode counts/latencies and
+        #: per-status counts land in the device's metrics registry.
+        self.obs = ssd.obs
+
+    # --- Completion accounting -------------------------------------------------
+
+    def _complete(self, command, completion):
+        """Record metrics/trace for a completion, then return it."""
+        opcode = getattr(command.opcode, "name", str(command.opcode))
+        metrics = self.obs.metrics
+        metrics.counter("nvme.op.%s" % opcode).inc()
+        metrics.counter("nvme.status.%s" % completion.status.name).inc()
+        if completion.status is StatusCode.SUCCESS:
+            metrics.histogram("nvme.op.%s_us" % opcode).record(
+                completion.latency_us
+            )
+        tr = self.obs.trace
+        if tr.enabled:
+            tr.emit(
+                "nvme",
+                opcode,
+                self.ssd.clock.now_us,
+                status=completion.status.name,
+                latency_us=completion.latency_us,
+            )
+        return completion
 
     # --- Queues ---------------------------------------------------------------
 
@@ -57,24 +83,35 @@ class NVMeController:
             else:
                 result = self._io(command)
         except AddressError:
-            return NVMeCompletion(StatusCode.LBA_OUT_OF_RANGE)
+            return self._complete(command, NVMeCompletion(StatusCode.LBA_OUT_OF_RANGE))
         # DegradedModeError and RetentionViolationError are both
         # refused-write DeviceFullErrors; they are sibling classes, so
         # order here is documentation, not shadowing.
         except DegradedModeError:
-            return NVMeCompletion(StatusCode.DEGRADED_READ_ONLY)
+            return self._complete(
+                command, NVMeCompletion(StatusCode.DEGRADED_READ_ONLY)
+            )
         except RetentionViolationError:
-            return NVMeCompletion(StatusCode.RETENTION_PROTECTED)
+            return self._complete(
+                command, NVMeCompletion(StatusCode.RETENTION_PROTECTED)
+            )
         except UncorrectableReadError:
-            return NVMeCompletion(StatusCode.MEDIA_UNRECOVERED_READ)
+            return self._complete(
+                command, NVMeCompletion(StatusCode.MEDIA_UNRECOVERED_READ)
+            )
         except ProgramFailureError:
-            return NVMeCompletion(StatusCode.MEDIA_WRITE_FAULT)
+            return self._complete(
+                command, NVMeCompletion(StatusCode.MEDIA_WRITE_FAULT)
+            )
         except _InvalidOpcode:
-            return NVMeCompletion(StatusCode.INVALID_OPCODE)
+            return self._complete(command, NVMeCompletion(StatusCode.INVALID_OPCODE))
         except _InvalidField:
-            return NVMeCompletion(StatusCode.INVALID_FIELD)
-        return NVMeCompletion(
-            StatusCode.SUCCESS, result, latency_us=self.ssd.clock.now_us - start
+            return self._complete(command, NVMeCompletion(StatusCode.INVALID_FIELD))
+        return self._complete(
+            command,
+            NVMeCompletion(
+                StatusCode.SUCCESS, result, latency_us=self.ssd.clock.now_us - start
+            ),
         )
 
     def submit_batch(self, commands, queue_depth=8):
@@ -104,28 +141,53 @@ class NVMeController:
                 self._check_range(command)
                 cursors[slot] = self._batch_one(command, start)
             except AddressError:
-                completions.append(NVMeCompletion(StatusCode.LBA_OUT_OF_RANGE))
+                completions.append(
+                    self._complete(
+                        command, NVMeCompletion(StatusCode.LBA_OUT_OF_RANGE)
+                    )
+                )
                 continue
             except DegradedModeError:
-                completions.append(NVMeCompletion(StatusCode.DEGRADED_READ_ONLY))
+                completions.append(
+                    self._complete(
+                        command, NVMeCompletion(StatusCode.DEGRADED_READ_ONLY)
+                    )
+                )
                 continue
             except RetentionViolationError:
-                completions.append(NVMeCompletion(StatusCode.RETENTION_PROTECTED))
+                completions.append(
+                    self._complete(
+                        command, NVMeCompletion(StatusCode.RETENTION_PROTECTED)
+                    )
+                )
                 continue
             except UncorrectableReadError:
                 completions.append(
-                    NVMeCompletion(StatusCode.MEDIA_UNRECOVERED_READ)
+                    self._complete(
+                        command, NVMeCompletion(StatusCode.MEDIA_UNRECOVERED_READ)
+                    )
                 )
                 continue
             except ProgramFailureError:
-                completions.append(NVMeCompletion(StatusCode.MEDIA_WRITE_FAULT))
+                completions.append(
+                    self._complete(
+                        command, NVMeCompletion(StatusCode.MEDIA_WRITE_FAULT)
+                    )
+                )
                 continue
             except _InvalidOpcode:
-                completions.append(NVMeCompletion(StatusCode.INVALID_OPCODE))
+                completions.append(
+                    self._complete(
+                        command, NVMeCompletion(StatusCode.INVALID_OPCODE)
+                    )
+                )
                 continue
             completions.append(
-                NVMeCompletion(
-                    StatusCode.SUCCESS, None, latency_us=cursors[slot] - start
+                self._complete(
+                    command,
+                    NVMeCompletion(
+                        StatusCode.SUCCESS, None, latency_us=cursors[slot] - start
+                    ),
                 )
             )
         end = max(cursors)

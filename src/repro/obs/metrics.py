@@ -1,0 +1,247 @@
+"""Metric primitives: counters, gauges, and HDR-style latency histograms.
+
+A :class:`MetricsRegistry` owns named metrics for one device instance —
+there is deliberately no module-level registry, so two SSDs in one
+process (every differential experiment) never share state.  Snapshots
+are JSON-stable: building the same device twice and running the same
+seeded workload produces byte-identical :meth:`MetricsRegistry.to_json`
+output, which is what the golden determinism tests pin.
+
+The histogram is HDR-style: log2 major buckets split into 16 linear
+sub-buckets, so relative quantile error is bounded (~6%) at any scale
+from one microsecond to days, with O(1) integer-only recording — cheap
+enough to sit on the flash-op hot path, deterministic by construction
+(no sampling, no RNG, unlike the reservoir in
+:class:`repro.common.stats.LatencyStats` it replaces on the device).
+"""
+
+from repro.common.errors import ReproError
+
+__all__ = ["Counter", "Gauge", "LatencyHistogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1):
+        if n < 0:
+            raise ReproError("counter %s cannot decrease" % self.name)
+        self.value += n
+        return self.value
+
+    def __repr__(self):
+        return "Counter(%s=%d)" % (self.name, self.value)
+
+
+class Gauge:
+    """A named point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+        return value
+
+    def __repr__(self):
+        return "Gauge(%s=%r)" % (self.name, self.value)
+
+
+#: Linear sub-buckets per power of two (HDR "significant digits" knob).
+_SUB_BUCKETS = 16
+_SUB_BITS = 4  # log2(_SUB_BUCKETS)
+
+
+class LatencyHistogram:
+    """Fixed-precision histogram over non-negative integer microseconds.
+
+    Values below ``_SUB_BUCKETS`` are recorded exactly; larger values
+    land in one of 16 linear sub-buckets of their power-of-two range, so
+    any recorded value is reported within 1/16 of its magnitude.  Exact
+    ``count`` / ``total_us`` / ``min_us`` / ``max_us`` are tracked on
+    the side; ``percentile(0)`` and ``percentile(100)`` return the exact
+    extremes.
+
+    The API is a superset of what the device models used from
+    ``LatencyStats`` (``record`` / ``count`` / ``mean_us`` /
+    ``percentile`` / ``max_us`` / ``total_us``), so it drops into the
+    FTL response-time accounting unchanged.
+    """
+
+    __slots__ = ("name", "count", "total_us", "min_us", "max_us", "_buckets")
+
+    def __init__(self, name):
+        self.name = name
+        self.count = 0
+        self.total_us = 0
+        self.min_us = None
+        self.max_us = 0
+        self._buckets = {}  # bucket index -> count (sparse)
+
+    @staticmethod
+    def _bucket_index(value):
+        if value < _SUB_BUCKETS:
+            return value
+        shift = value.bit_length() - _SUB_BITS - 1
+        # top is in [16, 32): 4 magnitude bits below the leading one.
+        top = value >> shift
+        return (shift + 1) * _SUB_BUCKETS + (top - _SUB_BUCKETS)
+
+    @staticmethod
+    def _bucket_bounds(index):
+        """Inclusive ``(low, high)`` value range of bucket ``index``."""
+        if index < _SUB_BUCKETS:
+            return index, index
+        shift = index // _SUB_BUCKETS - 1
+        top = _SUB_BUCKETS + index % _SUB_BUCKETS
+        low = top << shift
+        high = ((top + 1) << shift) - 1
+        return low, high
+
+    def record(self, latency_us):
+        latency_us = int(latency_us)
+        if latency_us < 0:
+            raise ReproError("latency cannot be negative")
+        self.count += 1
+        self.total_us += latency_us
+        if self.min_us is None or latency_us < self.min_us:
+            self.min_us = latency_us
+        if latency_us > self.max_us:
+            self.max_us = latency_us
+        index = self._bucket_index(latency_us)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def mean_us(self):
+        return self.total_us / self.count if self.count else 0.0
+
+    def percentile(self, p):
+        """p-th percentile (0..100); exact at both extremes, ~6% inside."""
+        if not 0 <= p <= 100:
+            raise ReproError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        if p == 0:
+            return float(self.min_us)
+        if p == 100:
+            return float(self.max_us)
+        # Nearest-rank over buckets; report the bucket's upper bound
+        # (every recorded value in the bucket is <= it), clamped to the
+        # exact extremes.
+        rank = max(1, -(-p * self.count // 100))  # ceil(p/100 * count)
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                _low, high = self._bucket_bounds(index)
+                return float(min(max(high, self.min_us), self.max_us))
+        return float(self.max_us)
+
+    def bucket_counts(self):
+        """Sorted ``[(bucket_low_us, count), ...]`` (invariant: counts sum to count)."""
+        return [
+            (self._bucket_bounds(index)[0], self._buckets[index])
+            for index in sorted(self._buckets)
+        ]
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "total_us": self.total_us,
+            "min_us": self.min_us if self.min_us is not None else 0,
+            "max_us": self.max_us,
+            "mean_us": round(self.mean_us, 6),
+            "p50_us": self.percentile(50),
+            "p90_us": self.percentile(90),
+            "p99_us": self.percentile(99),
+            "buckets": [[low, n] for low, n in self.bucket_counts()],
+        }
+
+    def __repr__(self):
+        return "LatencyHistogram(%s: n=%d, mean=%.1fus, p99=%.1fus)" % (
+            self.name,
+            self.count,
+            self.mean_us,
+            self.percentile(99),
+        )
+
+
+class MetricsRegistry:
+    """Named metrics for one device instance.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create (the same
+    name always returns the same object; a name can hold only one metric
+    type).  Metric names are dotted, lowercase, and catalogued in
+    docs/OBSERVABILITY.md.
+    """
+
+    def __init__(self):
+        self._metrics = {}
+
+    def _get(self, name, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ReproError(
+                "metric %r is a %s, not a %s"
+                % (name, type(metric).__name__, cls.__name__)
+            )
+        return metric
+
+    def counter(self, name):
+        return self._get(name, Counter)
+
+    def gauge(self, name):
+        return self._get(name, Gauge)
+
+    def histogram(self, name):
+        return self._get(name, LatencyHistogram)
+
+    def names(self):
+        return sorted(self._metrics)
+
+    def get(self, name):
+        """The metric registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def snapshot(self):
+        """JSON-stable dict of every metric, grouped by type, sorted by name."""
+        counters = {}
+        gauges = {}
+        histograms = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = metric.snapshot()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def to_json(self, indent=None):
+        """Canonical JSON rendering (sorted keys, stable separators)."""
+        import json
+
+        return json.dumps(
+            self.snapshot(), sort_keys=True, indent=indent,
+            separators=(",", ": ") if indent else (",", ":"),
+        )
+
+    def __repr__(self):
+        return "MetricsRegistry(%d metrics)" % len(self._metrics)

@@ -12,7 +12,6 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.common.errors import DeviceFullError
-from repro.common.stats import LatencyStats
 from repro.flash.page import NULL_PPA
 from repro.ftl.block_manager import BlockKind, StreamId
 from repro.ftl.ssd import BaseSSD

@@ -242,12 +242,24 @@ class DeltaManager:
             # queryable — and the next add_record retries the flush.
             self.deferred_flushes += 1
             return now_us
+        packed = len(state.buffer)
         for record in state.buffer:
             record.flash_ppa = ppa
         state.blocks.add(self._ssd.device.geometry.block_of_page(ppa))
         state.buffer = []
         state.buffered_bytes = 0
         self.flushed_pages += 1
+        self._ssd._m_delta_flushed.inc()
+        tr = self._ssd.obs.trace
+        if tr.enabled:
+            tr.emit(
+                "delta",
+                "flush",
+                complete,
+                segment_id=segment_id,
+                ppa=ppa,
+                records=packed,
+            )
         return complete
 
     def reset(self):

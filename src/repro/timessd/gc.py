@@ -73,6 +73,7 @@ class TimeSSDGarbageCollector:
             elif ssd.blooms.find_segment(ppa) is None:
                 # Expired: invalidated before the retention window opened.
                 outcome.discarded_expired += 1
+                ssd._m_expired.inc()
                 ssd.note_page_no_longer_retained(ppa)
             else:
                 t, compressed = self.compress_version_chain(ppa, t)
@@ -91,6 +92,18 @@ class TimeSSDGarbageCollector:
             ssd.wear_leveler.on_erase(t)
         self.blocks_reclaimed += 1
         outcome.complete_us = t
+        ssd._m_gc_migrated.inc(outcome.migrated_valid)
+        tr = ssd.obs.trace
+        if tr.enabled:
+            tr.emit(
+                "gc",
+                "reclaim",
+                t,
+                pba=victim_pba,
+                migrated=outcome.migrated_valid,
+                expired=outcome.discarded_expired,
+                compressed=outcome.compressed,
+            )
         return outcome
 
     def _migrate_valid_page(self, ppa, now_us):
@@ -141,6 +154,7 @@ class TimeSSDGarbageCollector:
             if compressing:
                 payload, size = ssd.deltas.codec.compress(data, ref_data)
                 device.counters.delta_compressions += 1
+                ssd._m_delta_compressions.inc()
                 t = device.timelines.schedule(
                     device.geometry.channel_of_page(src_ppa),
                     t,
@@ -198,6 +212,7 @@ class TimeSSDGarbageCollector:
             if index.mark_reclaimable(src_ppa):
                 ssd.note_page_no_longer_retained(src_ppa)
         self.versions_compressed += len(records)
+        ssd._h_compressed_chain.record(len(records))
         return t, len(records)
 
     def _collect_older_versions(self, lpa, head_oob, chain, now_us):
@@ -219,6 +234,7 @@ class TimeSSDGarbageCollector:
             t = result.complete_us
             if ssd.blooms.find_segment(back) is None:
                 if index.mark_reclaimable(back):
+                    ssd._m_expired.inc()
                     ssd.note_page_no_longer_retained(back)
                 break
             chain.append((back, result.oob, result.data))

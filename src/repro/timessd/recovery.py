@@ -78,7 +78,7 @@ def rebuild_from_flash(ssd):
         if block.is_erased:
             continue
         # Occupied blocks must leave the (fresh) free pool.
-        _claim_block(bm, pba)
+        bm.claim_block(pba)
         if not block.is_full:
             partial_blocks.append(pba)
         for offset in range(block.write_pointer):
@@ -235,14 +235,3 @@ def _reachable_data_ts(ssd, lpa, head):
         prev_ts = oob.timestamp_us
         back = oob.back_pointer
     return out
-
-
-def _claim_block(bm, pba):
-    """Remove ``pba`` from the fresh BlockManager's free pool."""
-    channel = bm._geo.channel_of_block(pba)
-    try:
-        bm._free[channel].remove(pba)
-    except ValueError:
-        return  # already claimed
-    bm._free_count -= 1
-    bm.set_kind(pba, BlockKind.DATA)

@@ -86,6 +86,13 @@ class TimeSSD(BaseSSD):
         self.retained_pages = 0
         self.background_compressed = 0
         self.background_windows = 0
+        metrics = self.obs.metrics
+        self._m_shrinks = metrics.counter("timessd.retention.shrinks")
+        self._m_expired = metrics.counter("timessd.expire.pages")
+        self._m_delta_compressions = metrics.counter("timessd.delta.compressions")
+        self._m_delta_flushed = metrics.counter("timessd.delta.flushed_pages")
+        self._h_query_chain = metrics.histogram("timessd.chain.length")
+        self._h_compressed_chain = metrics.histogram("timessd.gc.compressed_chain")
 
     # --- Retention bookkeeping -------------------------------------------------
 
@@ -231,6 +238,16 @@ class TimeSSD(BaseSSD):
         segment = self.retention.shrink()
         if segment is not None:
             self.deltas.drop_segment(segment.segment_id, now_us)
+            self._m_shrinks.inc()
+            tr = self.obs.trace
+            if tr.enabled:
+                tr.emit(
+                    "expire",
+                    "retention-shrink",
+                    now_us,
+                    segment_id=segment.segment_id,
+                    window_us=self.blooms.retention_us(),
+                )
         return segment
 
     def erase_delta_block(self, pba, now_us):
@@ -328,6 +345,7 @@ class TimeSSD(BaseSSD):
                     continue
                 if self.blooms.find_segment(ppa) is None:
                     if self.index.mark_reclaimable(ppa):
+                        self._m_expired.inc()
                         self.note_page_no_longer_retained(ppa)
                     continue
                 t, compressed = self.collector.compress_version_chain(ppa, t)
@@ -425,7 +443,24 @@ class TimeSSD(BaseSSD):
             by_ts[record.version_ts] = data
             if until_ts is not None and record.version_ts <= until_ts:
                 break
+        self._h_query_chain.record(len(versions))
         return versions, t
+
+    # --- Observability ----------------------------------------------------------
+
+    def _refresh_gauges(self):
+        super()._refresh_gauges()
+        metrics = self.obs.metrics
+        metrics.gauge("timessd.retention.window_us").set(self.retention_window_us())
+        metrics.gauge("timessd.retained_pages").set(self.retained_pages)
+        metrics.gauge("timessd.bloom.live_segments").set(
+            len(self.blooms.live_segments())
+        )
+        metrics.gauge("timessd.delta.ram_bytes").set(self.deltas.ram_bytes())
+        metrics.gauge("timessd.delta.records_created").set(
+            self.deltas.records_created
+        )
+        metrics.gauge("timessd.background.compressed").set(self.background_compressed)
 
     def __repr__(self):
         return "TimeSSD(%d logical pages, retention=%s, retained=%d pages)" % (

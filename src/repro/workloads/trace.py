@@ -1,8 +1,13 @@
 """Block-level trace records and the replayer."""
 
+import random
 from dataclasses import dataclass
 
 from repro.common.stats import LatencyStats
+
+#: Reservoir-sampling seed for replay response-time stats.  Fixed so two
+#: replays of the same trace report identical percentiles.
+_RESPONSE_STATS_SEED = 0x5EED
 
 
 @dataclass(frozen=True)
@@ -35,7 +40,7 @@ class ReplayStats:
 
     def __post_init__(self):
         if self.response is None:
-            self.response = LatencyStats()
+            self.response = LatencyStats(random.Random(_RESPONSE_STATS_SEED))
 
 
 class TraceReplayer:

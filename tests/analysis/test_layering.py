@@ -103,3 +103,56 @@ def test_acyclic_same_layer_imports_not_cyclic(lint_package):
         rules=RULES,
     )
     assert violations == []
+
+
+def test_obs_importing_flash_flagged(lint_package):
+    violations = lint_package(
+        {"repro.obs.rogue": "from repro.flash.device import FlashDevice\n"},
+        rules=["layering-obs-isolated"],
+    )
+    assert rule_ids(violations) == ["layering-obs-isolated"]
+    assert "obs" in violations[0].message
+
+
+def test_obs_importing_ftl_and_timessd_flagged(lint_package):
+    violations = lint_package(
+        {
+            "repro.obs.rogue": (
+                "from repro.ftl.ssd import RegularSSD\n"
+                "import repro.timessd.ssd\n"
+            )
+        },
+        rules=["layering-obs-isolated"],
+    )
+    assert rule_ids(violations) == [
+        "layering-obs-isolated",
+        "layering-obs-isolated",
+    ]
+
+
+def test_obs_importing_common_and_obs_clean(lint_package):
+    violations = lint_package(
+        {
+            "repro.obs.fine": (
+                "from repro.common.errors import ReproError\n"
+                "from repro.obs.metrics import MetricsRegistry\n"
+            )
+        },
+        rules=["layering-obs-isolated"],
+    )
+    assert violations == []
+
+
+def test_real_obs_package_is_isolated():
+    """The shipped obs package itself must satisfy the isolation rule."""
+    import os
+
+    from repro.analysis.core import analyze_paths, rules_by_id
+
+    import repro.obs
+
+    package_dir = os.path.dirname(repro.obs.__file__)
+    violations = analyze_paths(
+        [package_dir], rules_by_id(["layering-obs-isolated"])
+    )
+    assert violations == []

@@ -7,6 +7,10 @@ from hypothesis import given, strategies as st
 from repro.common.stats import LatencyStats, RunningMean
 
 
+def make_stats(seed=3):
+    return LatencyStats(rng=random.Random(seed))
+
+
 class TestRunningMean:
     def test_empty(self):
         rm = RunningMean()
@@ -48,40 +52,100 @@ class TestRunningMean:
 
 class TestLatencyStats:
     def test_empty(self):
-        ls = LatencyStats()
+        ls = make_stats()
         assert ls.count == 0
         assert ls.mean_us == 0.0
         assert ls.percentile(50) == 0.0
+        assert ls.percentile(0) == 0.0
+        assert ls.percentile(100) == 0.0
+
+    def test_rng_is_mandatory(self):
+        with pytest.raises(TypeError):
+            LatencyStats()  # almanac: ignore[determinism-latencystats-rng]
+        with pytest.raises(ValueError):
+            LatencyStats(rng=None)
 
     def test_rejects_negative(self):
         with pytest.raises(ValueError):
-            LatencyStats().record(-1)
+            make_stats().record(-1)
 
     def test_mean_and_max(self):
-        ls = LatencyStats()
+        ls = make_stats()
         for v in (10, 20, 30):
             ls.record(v)
         assert ls.mean_us == pytest.approx(20)
         assert ls.max_us == 30
+        assert ls.min_us == 10
         assert ls.total_us == 60
 
+    def test_single_sample_percentiles(self):
+        ls = make_stats()
+        ls.record(42)
+        for p in (0, 1, 50, 99, 100):
+            assert ls.percentile(p) == 42.0
+
+    def test_p0_and_p100_are_exact_extremes(self):
+        ls = make_stats()
+        for v in (7, 3, 99, 12):
+            ls.record(v)
+        assert ls.percentile(0) == 3.0
+        assert ls.percentile(100) == 99.0
+
+    def test_p100_exact_after_reservoir_eviction(self):
+        # Evictions can push the true max/min out of the reservoir; the
+        # extremes must still come from the exact side-channel.
+        ls = make_stats(seed=5)
+        ls.record(10**9)  # true max, recorded first
+        ls.record(0)  # true min
+        for v in range(LatencyStats.RESERVOIR_SIZE * 3):
+            ls.record(v % 1000 + 1)
+        assert ls.percentile(100) == float(10**9)
+        assert ls.percentile(0) == 0.0
+        assert ls.max_us == 10**9
+        assert ls.min_us == 0
+
+    def test_percentile_interpolates(self):
+        ls = make_stats()
+        ls.record(0)
+        ls.record(100)
+        assert ls.percentile(50) == pytest.approx(50.0)
+        assert ls.percentile(25) == pytest.approx(25.0)
+
     def test_percentiles_ordered(self):
-        ls = LatencyStats()
+        ls = make_stats()
         for v in range(1000):
             ls.record(v)
         assert ls.percentile(10) <= ls.percentile(50) <= ls.percentile(99)
 
     def test_percentile_bounds_checked(self):
-        ls = LatencyStats()
+        ls = make_stats()
         ls.record(5)
         with pytest.raises(ValueError):
             ls.percentile(101)
         with pytest.raises(ValueError):
             ls.percentile(-1)
 
-    def test_reservoir_with_rng_does_not_grow(self):
-        ls = LatencyStats(rng=random.Random(3))
+    def test_reservoir_does_not_grow(self):
+        ls = make_stats()
         for v in range(LatencyStats.RESERVOIR_SIZE * 2):
             ls.record(v)
         assert len(ls._reservoir) == LatencyStats.RESERVOIR_SIZE
         assert ls.count == LatencyStats.RESERVOIR_SIZE * 2
+
+    def test_same_seed_same_percentiles(self):
+        def run():
+            ls = make_stats(seed=9)
+            rng = random.Random(1)
+            for _ in range(LatencyStats.RESERVOIR_SIZE + 500):
+                ls.record(rng.randrange(10**6))
+            return [ls.percentile(p) for p in (0, 25, 50, 90, 99, 100)]
+
+        assert run() == run()
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=200))
+    def test_percentiles_within_range(self, values):
+        ls = make_stats()
+        for v in values:
+            ls.record(v)
+        for p in (0, 10, 50, 90, 100):
+            assert min(values) <= ls.percentile(p) <= max(values)

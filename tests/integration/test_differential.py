@@ -1,0 +1,184 @@
+"""Differential oracle: RegularSSD and TimeSSD must agree with a model dict.
+
+The same seeded op stream drives both devices plus an in-memory model of
+the logical address space.  Read-your-writes equivalence is checked at
+every step — any divergence between the two FTLs (or between either FTL
+and the model) fails immediately with the op index.  A second harness
+power-cuts both devices mid-stream and checks that every acknowledged
+write survives recovery on both.
+"""
+
+import random
+
+import pytest
+
+from repro.common.units import SECOND_US
+from repro.ftl import recovery as regular_recovery
+from repro.timessd import recovery as timessd_recovery
+from repro.timessd.config import ContentMode
+
+from tests.conftest import make_regular_ssd, make_timessd
+
+PAGE_SIZE = 512
+
+
+def payload(lpa, step):
+    return (b"L%d S%d" % (lpa, step)).ljust(PAGE_SIZE, b"\xa5")
+
+
+def make_pair():
+    """A (RegularSSD, TimeSSD) pair storing real page content."""
+    regular = make_regular_ssd()
+    timessd = make_timessd(
+        content_mode=ContentMode.REAL,
+        retention_floor_us=3600 * SECOND_US,
+    )
+    assert regular.logical_pages == timessd.logical_pages
+    return regular, timessd
+
+
+def op_stream(rng, working, steps):
+    """Seeded (op, lpa) stream: ~60% writes, 30% reads, 10% trims."""
+    for step in range(steps):
+        lpa = rng.randrange(working)
+        roll = rng.random()
+        if roll < 0.60:
+            yield step, "write", lpa
+        elif roll < 0.90:
+            yield step, "read", lpa
+        else:
+            yield step, "trim", lpa
+
+
+class TestLiveEquivalence:
+    @pytest.mark.parametrize("seed", [3, 17, 4242])
+    def test_read_your_writes_every_step(self, seed):
+        regular, timessd = make_pair()
+        rng = random.Random(seed)
+        working = regular.logical_pages // 3
+        model = {}
+        for step, op, lpa in op_stream(rng, working, steps=900):
+            if op == "write":
+                data = payload(lpa, step)
+                regular.write(lpa, data)
+                timessd.write(lpa, data)
+                model[lpa] = data
+            elif op == "trim":
+                regular.trim(lpa)
+                timessd.trim(lpa)
+                model.pop(lpa, None)
+            expected = model.get(lpa)
+            got_regular = regular.read(lpa)[0]
+            got_timessd = timessd.read(lpa)[0]
+            assert got_regular == expected, "regular diverged at op %d" % step
+            assert got_timessd == expected, "timessd diverged at op %d" % step
+            for ssd in (regular, timessd):
+                ssd.clock.advance(1500)
+
+    def test_full_space_sweep_after_churn(self):
+        regular, timessd = make_pair()
+        rng = random.Random(11)
+        working = regular.logical_pages // 3
+        model = {}
+        for step, op, lpa in op_stream(rng, working, steps=1500):
+            if op == "write":
+                data = payload(lpa, step)
+                regular.write(lpa, data)
+                timessd.write(lpa, data)
+                model[lpa] = data
+            elif op == "trim":
+                regular.trim(lpa)
+                timessd.trim(lpa)
+                model.pop(lpa, None)
+            for ssd in (regular, timessd):
+                ssd.clock.advance(1500)
+        # Sweep the whole logical space, including never-written LPAs.
+        for lpa in range(regular.logical_pages):
+            expected = model.get(lpa)
+            assert regular.read(lpa)[0] == expected, lpa
+            assert timessd.read(lpa)[0] == expected, lpa
+
+    def test_write_amplification_comparable_under_identical_load(self):
+        # Not an equality check — TimeSSD pays extra programs for history
+        # — but both must stay physically sane under the same workload.
+        regular, timessd = make_pair()
+        rng = random.Random(5)
+        working = regular.logical_pages // 3
+        for step, op, lpa in op_stream(rng, working, steps=1200):
+            if op == "write":
+                data = payload(lpa, step)
+                regular.write(lpa, data)
+                timessd.write(lpa, data)
+            for ssd in (regular, timessd):
+                ssd.clock.advance(1500)
+        assert regular.host_pages_written == timessd.host_pages_written
+        assert regular.write_amplification >= 1.0
+        assert timessd.write_amplification >= 1.0
+
+
+class TestPowerCutEquivalence:
+    """Acked writes survive a crash on both devices.
+
+    Trims are excluded: trim durability is advisory (a trimmed-then-
+    crashed LPA may legitimately resurrect its last value from flash),
+    so the oracle pins only positive durability — every acknowledged
+    write must read back its exact acked content after recovery.
+    """
+
+    @pytest.mark.parametrize("seed", [9, 2718])
+    def test_acked_writes_survive_power_cut(self, seed):
+        regular, timessd = make_pair()
+        rng = random.Random(seed)
+        working = regular.logical_pages // 3
+        acked = {}
+        for step in range(700):
+            lpa = rng.randrange(working)
+            data = payload(lpa, step)
+            regular.write(lpa, data)
+            timessd.write(lpa, data)
+            acked[lpa] = data
+            for ssd in (regular, timessd):
+                ssd.clock.advance(1500)
+
+        regular_recovery.simulate_power_loss(regular)
+        regular_stats = regular_recovery.rebuild_from_flash(regular)
+        timessd_recovery.simulate_power_loss(timessd)
+        timessd_recovery.rebuild_from_flash(timessd)
+
+        assert regular_stats["mapped_lpas"] == len(acked)
+        for lpa, data in acked.items():
+            assert regular.read(lpa)[0] == data, "regular lost lpa %d" % lpa
+            assert timessd.read(lpa)[0] == data, "timessd lost lpa %d" % lpa
+
+    def test_devices_stay_writable_and_equivalent_after_recovery(self):
+        regular, timessd = make_pair()
+        rng = random.Random(77)
+        working = regular.logical_pages // 3
+        for step in range(400):
+            lpa = rng.randrange(working)
+            data = payload(lpa, step)
+            regular.write(lpa, data)
+            timessd.write(lpa, data)
+            for ssd in (regular, timessd):
+                ssd.clock.advance(1500)
+
+        regular_recovery.simulate_power_loss(regular)
+        regular_recovery.rebuild_from_flash(regular)
+        timessd_recovery.simulate_power_loss(timessd)
+        timessd_recovery.rebuild_from_flash(timessd)
+
+        # Post-recovery writes behave identically on both devices.
+        model = {}
+        for step in range(200):
+            lpa = rng.randrange(working)
+            data = payload(lpa, 10_000 + step)
+            regular.write(lpa, data)
+            timessd.write(lpa, data)
+            model[lpa] = data
+            assert regular.read(lpa)[0] == data
+            assert timessd.read(lpa)[0] == data
+            for ssd in (regular, timessd):
+                ssd.clock.advance(1500)
+        for lpa, data in model.items():
+            assert regular.read(lpa)[0] == data
+            assert timessd.read(lpa)[0] == data

@@ -1,0 +1,126 @@
+"""Metrics wired through the device stack agree with first-party accounting."""
+
+import pytest
+
+from repro.nvme import HostNVMeDriver, NVMeCommand, Opcode, StatusCode
+
+from tests.conftest import fill_and_churn, make_regular_ssd, make_timessd
+
+
+def counter(ssd, name):
+    metric = ssd.obs.metrics.get(name)
+    return metric.value if metric is not None else 0
+
+
+class TestFlashCounters:
+    @pytest.mark.parametrize("factory", [make_regular_ssd, make_timessd])
+    def test_match_legacy_op_counters(self, factory):
+        ssd = fill_and_churn(factory(), working_set=400, churn_writes=1200)
+        legacy = ssd.device.counters
+        assert counter(ssd, "flash.reads") == legacy.page_reads
+        assert counter(ssd, "flash.programs") == legacy.page_programs
+        assert counter(ssd, "flash.erases") == legacy.block_erases
+
+    @pytest.mark.parametrize("factory", [make_regular_ssd, make_timessd])
+    def test_histogram_counts_match_op_counts(self, factory):
+        ssd = fill_and_churn(factory(), working_set=300, churn_writes=800)
+        metrics = ssd.obs.metrics
+        legacy = ssd.device.counters
+        assert metrics.get("flash.program_us").count == legacy.page_programs
+        assert metrics.get("flash.erase_us").count == legacy.block_erases
+        if legacy.page_reads:
+            assert metrics.get("flash.read_us").count == legacy.page_reads
+
+
+class TestHostCounters:
+    @pytest.mark.parametrize("factory", [make_regular_ssd, make_timessd])
+    def test_host_write_read_counters(self, factory):
+        ssd = factory()
+        for lpa in range(50):
+            ssd.write(lpa)
+            ssd.clock.advance(1000)
+        for lpa in range(20):
+            ssd.read(lpa)
+        assert counter(ssd, "ftl.host_writes") == 50 == ssd.host_pages_written
+        assert counter(ssd, "ftl.host_reads") == 20 == ssd.host_pages_read
+        assert ssd.write_latency.count == 50
+        assert ssd.read_latency.count == 20
+
+
+class TestGCAccounting:
+    def test_regular_program_identity(self):
+        # Fault-free, every flash program is either a host write or a
+        # GC migration — the gc.pages_migrated counter must close the
+        # books against the device's own program count.
+        ssd = fill_and_churn(make_regular_ssd(), working_set=600, churn_writes=4000)
+        assert ssd.gc_runs > 0
+        migrated = counter(ssd, "gc.pages_migrated")
+        assert migrated > 0
+        assert (
+            ssd.device.counters.page_programs
+            == ssd.host_pages_written + migrated
+        )
+
+    def test_timessd_program_identity(self):
+        # TimeSSD adds one more program source: packed delta segments.
+        ssd = fill_and_churn(make_timessd(), working_set=600, churn_writes=4000)
+        migrated = counter(ssd, "gc.pages_migrated")
+        flushed = counter(ssd, "timessd.delta.flushed_pages")
+        assert (
+            ssd.device.counters.page_programs
+            == ssd.host_pages_written + migrated + flushed
+        )
+
+    def test_gc_run_counters_match_properties(self):
+        ssd = fill_and_churn(make_regular_ssd(), working_set=600, churn_writes=4000)
+        assert counter(ssd, "gc.runs") == ssd.gc_runs
+        assert counter(ssd, "gc.background_runs") == ssd.background_gc_runs
+
+
+class TestTimeSSDCounters:
+    def test_delta_compressions_match_legacy(self):
+        ssd = fill_and_churn(make_timessd(), working_set=600, churn_writes=4000)
+        assert (
+            counter(ssd, "timessd.delta.compressions")
+            == ssd.device.counters.delta_compressions
+        )
+
+    def test_chain_length_histogram_records_queries(self):
+        ssd = make_timessd()
+        for _ in range(3):
+            ssd.write(5)
+            ssd.clock.advance(1000)
+        ssd.version_chain(5)
+        hist = ssd.obs.metrics.get("timessd.chain.length")
+        assert hist.count == 1
+        assert hist.max_us == 3  # chain length, not a latency
+
+
+class TestNVMeMetrics:
+    def test_per_opcode_counters_and_latency(self):
+        driver = HostNVMeDriver(make_regular_ssd())
+        size = driver.controller.ssd.device.geometry.page_size
+        driver.write(0, [b"x".ljust(size, b"\0")])
+        driver.read(0)
+        metrics = driver.controller.obs.metrics
+        assert metrics.get("nvme.op.WRITE").value == 1
+        assert metrics.get("nvme.op.READ").value == 1
+        assert metrics.get("nvme.status.SUCCESS").value == 2
+        assert metrics.get("nvme.op.WRITE_us").count == 1
+        assert metrics.get("nvme.op.READ_us").count == 1
+
+    def test_error_status_counted_without_latency_sample(self):
+        driver = HostNVMeDriver(make_regular_ssd())
+        completion = driver.controller.submit(
+            NVMeCommand(Opcode.READ, slba=10**9, nlb=1)
+        )
+        assert completion.status is StatusCode.LBA_OUT_OF_RANGE
+        metrics = driver.controller.obs.metrics
+        assert metrics.get("nvme.status.LBA_OUT_OF_RANGE").value == 1
+        hist = metrics.get("nvme.op.READ_us")
+        assert hist is None or hist.count == 0
+
+    def test_controller_shares_ssd_scope(self):
+        ssd = make_regular_ssd()
+        driver = HostNVMeDriver(ssd)
+        assert driver.controller.obs is ssd.obs

@@ -1,0 +1,102 @@
+"""Cross-cutting metric invariants: physics the snapshot must obey."""
+
+import pytest
+
+from tests.conftest import fill_and_churn, make_regular_ssd, make_timessd
+
+
+@pytest.fixture(scope="module", params=["regular", "timessd"])
+def churned(request):
+    factory = make_regular_ssd if request.param == "regular" else make_timessd
+    ssd = fill_and_churn(factory(), working_set=600, churn_writes=4000)
+    return ssd, ssd.metrics_snapshot()
+
+
+class TestWriteAmplification:
+    def test_wa_at_least_one_when_writing(self, churned):
+        ssd, snap = churned
+        assert snap["gauges"]["ftl.wa.host_writes"] > 0
+        assert snap["gauges"]["ftl.write_amplification"] >= 1.0
+        assert ssd.write_amplification >= 1.0
+
+    def test_wa_numerator_and_denominator_exposed(self, churned):
+        _ssd, snap = churned
+        gauges = snap["gauges"]
+        assert gauges["ftl.wa.flash_programs"] >= gauges["ftl.wa.host_writes"]
+        ratio = gauges["ftl.wa.flash_programs"] / gauges["ftl.wa.host_writes"]
+        assert gauges["ftl.write_amplification"] == pytest.approx(ratio, abs=1e-6)
+
+
+class TestBusyTime:
+    def test_channel_busy_bounded_by_elapsed(self, churned):
+        ssd, snap = churned
+        elapsed = snap["gauges"]["sim.now_us"]
+        channels = ssd.device.geometry.channels
+        per_channel = [
+            value
+            for name, value in snap["gauges"].items()
+            if name.startswith("flash.channel_busy_us.")
+        ]
+        assert len(per_channel) == channels
+        assert all(0 <= busy <= elapsed for busy in per_channel)
+        assert snap["gauges"]["flash.busy_us_total"] == sum(per_channel)
+        assert snap["gauges"]["flash.busy_us_total"] <= elapsed * channels
+
+    def test_chip_busy_bounded_by_elapsed(self, churned):
+        ssd, snap = churned
+        elapsed = snap["gauges"]["sim.now_us"]
+        per_chip = [
+            value
+            for name, value in snap["gauges"].items()
+            if name.startswith("flash.chip_busy_us.")
+        ]
+        assert per_chip
+        assert all(0 <= busy <= elapsed for busy in per_chip)
+        assert snap["gauges"]["flash.chip_busy_us_total"] <= elapsed * len(per_chip)
+
+
+class TestHistogramConsistency:
+    def test_every_snapshot_histogram_is_internally_consistent(self, churned):
+        _ssd, snap = churned
+        assert snap["histograms"]
+        for name, hist in snap["histograms"].items():
+            bucket_sum = sum(count for _low, count in hist["buckets"])
+            assert hist["count"] == bucket_sum, name
+            if hist["count"]:
+                assert hist["min_us"] <= hist["p50_us"] <= hist["max_us"], name
+                assert hist["p50_us"] <= hist["p90_us"] <= hist["p99_us"], name
+                assert hist["total_us"] >= hist["count"] * hist["min_us"], name
+                assert hist["total_us"] <= hist["count"] * hist["max_us"], name
+
+    def test_latency_histograms_have_positive_means(self, churned):
+        _ssd, snap = churned
+        write_us = snap["histograms"]["ftl.write_us"]
+        assert write_us["count"] > 0
+        assert write_us["mean_us"] > 0
+
+
+class TestCounterMonotonicity:
+    def test_counters_never_negative_and_snapshot_monotone(self):
+        ssd = make_regular_ssd()
+        before = ssd.metrics_snapshot()["counters"]
+        fill_and_churn(ssd, working_set=200, churn_writes=500)
+        after = ssd.metrics_snapshot()["counters"]
+        for name, value in after.items():
+            assert value >= 0
+            assert value >= before.get(name, 0), name
+
+
+class TestTracingDisabledIsInert:
+    def test_no_events_accumulate_when_disabled(self):
+        ssd = fill_and_churn(make_timessd(), working_set=300, churn_writes=1000)
+        assert not ssd.obs.trace.enabled
+        assert len(ssd.obs.trace) == 0
+        assert ssd.obs.trace.dropped == 0
+
+    def test_metrics_identical_with_and_without_tracing(self):
+        # Tracing must be pure observation: enabling it cannot perturb
+        # a single metric (and therefore cannot perturb behaviour).
+        plain = fill_and_churn(make_timessd(), 300, 1000)
+        traced = fill_and_churn(make_timessd(tracing=True), 300, 1000)
+        assert plain.obs.metrics.to_json() == traced.obs.metrics.to_json()
+        assert len(traced.obs.trace) > 0
