@@ -1,0 +1,190 @@
+"""On-disk result cache so full-tree deep runs stay fast in CI.
+
+Two tiers, both keyed on content, never on mtimes:
+
+* **shallow** — per file: ``sha256(path + source)`` -> the file-local
+  violations and used-suppression entries.  Editing one file re-lints
+  one file.
+* **deep** — per tree: ``sha256`` over every ``(path, file_sha)`` pair
+  -> the whole-program (call-graph/effects/domains) findings.  Any
+  edit anywhere invalidates it, which is exactly the soundness the
+  whole-program passes need.
+
+Both tiers additionally key on the *analyzer version* (a hash of every
+``repro/analysis`` source file) and the selected rule ids, so upgrading
+a rule or changing ``--select`` can never serve stale results.  Cache
+files are plain JSON under the cache directory (default
+``.almanac-cache/``, gitignored; CI persists it with ``actions/cache``).
+"""
+
+import hashlib
+import json
+import os
+
+from repro.analysis.core import Violation
+
+_ANALYSIS_DIR = os.path.dirname(os.path.abspath(__file__))
+_VERSION_CACHE = []
+
+#: Default cache location, relative to the invocation directory.
+DEFAULT_CACHE_DIR = ".almanac-cache"
+
+
+def analyzer_version():
+    """Hash of every analysis-package source file (memoised)."""
+    if _VERSION_CACHE:
+        return _VERSION_CACHE[0]
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(_ANALYSIS_DIR):
+        dirnames[:] = sorted(
+            d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+        )
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            digest.update(filename.encode("utf-8"))
+            with open(os.path.join(dirpath, filename), "rb") as handle:
+                digest.update(handle.read())
+    _VERSION_CACHE.append(digest.hexdigest()[:16])
+    return _VERSION_CACHE[0]
+
+
+def _violation_to_dict(violation):
+    return {
+        "rule_id": violation.rule_id,
+        "path": violation.path,
+        "line": violation.line,
+        "col": violation.col,
+        "message": violation.message,
+    }
+
+
+def _violation_from_dict(data):
+    return Violation(
+        rule_id=data["rule_id"],
+        path=data["path"],
+        line=data["line"],
+        col=data["col"],
+        message=data["message"],
+    )
+
+
+class ResultCache:
+    """One lint run's view of the cache directory."""
+
+    def __init__(self, directory, rule_ids):
+        self.directory = directory
+        signature = hashlib.sha256()
+        signature.update(analyzer_version().encode("utf-8"))
+        signature.update("\x00".join(sorted(rule_ids)).encode("utf-8"))
+        self.signature = signature.hexdigest()[:16]
+        self._shallow_path = os.path.join(
+            directory, "shallow-%s.json" % self.signature
+        )
+        self._deep_path = os.path.join(
+            directory, "deep-%s.json" % self.signature
+        )
+        self._shallow = _load_json(self._shallow_path)
+        self._deep = _load_json(self._deep_path)
+        #: Keys read or written this run; save() drops the rest so the
+        #: cache cannot grow without bound across refactors.
+        self._live_shallow = set()
+        self._dirty = False
+        self._file_sha = {}
+
+    # -- keys -----------------------------------------------------------------
+
+    def file_sha(self, module):
+        # Memoised per module *object*, not per path: the same path can
+        # be re-read with new content within one process (tests do).
+        cached = self._file_sha.get(id(module))
+        if cached is None:
+            digest = hashlib.sha256()
+            digest.update(module.path.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(module.source.encode("utf-8"))
+            cached = digest.hexdigest()
+            self._file_sha[id(module)] = cached
+        return cached
+
+    def tree_sha(self, modules):
+        digest = hashlib.sha256()
+        for module in sorted(modules, key=lambda m: m.path):
+            digest.update(self.file_sha(module).encode("utf-8"))
+        return digest.hexdigest()
+
+    # -- shallow tier ---------------------------------------------------------
+
+    def lookup_file(self, module):
+        entry = self._shallow.get(self.file_sha(module))
+        if entry is None:
+            return None
+        self._live_shallow.add(self.file_sha(module))
+        violations = [_violation_from_dict(v) for v in entry["violations"]]
+        used = {(line, name) for line, name in entry["used"]}
+        return violations, used
+
+    def store_file(self, module, violations, used):
+        key = self.file_sha(module)
+        self._shallow[key] = {
+            "violations": [_violation_to_dict(v) for v in violations],
+            "used": sorted([line, name] for line, name in used),
+        }
+        self._live_shallow.add(key)
+        self._dirty = True
+
+    # -- deep tier ------------------------------------------------------------
+
+    def lookup_deep(self, modules):
+        entry = self._deep.get(self.tree_sha(modules))
+        if entry is None:
+            return None
+        violations = [_violation_from_dict(v) for v in entry["violations"]]
+        used = {
+            path: {(line, name) for line, name in entries}
+            for path, entries in entry["used"].items()
+        }
+        return violations, used
+
+    def store_deep(self, modules, violations, used_by_path):
+        self._deep = {
+            self.tree_sha(modules): {
+                "violations": [_violation_to_dict(v) for v in violations],
+                "used": {
+                    path: sorted([line, name] for line, name in entries)
+                    for path, entries in used_by_path.items()
+                },
+            }
+        }
+        self._dirty = True
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self):
+        if not self._dirty:
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        live = {
+            key: value
+            for key, value in self._shallow.items()
+            if key in self._live_shallow
+        }
+        _dump_json(self._shallow_path, live)
+        _dump_json(self._deep_path, self._deep)
+        self._dirty = False
+
+
+def _load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def _dump_json(path, data):
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, sort_keys=True)
+    os.replace(tmp, path)

@@ -1,0 +1,152 @@
+"""The declarative whole-program contract table.
+
+Each entry is one checkable cross-layer invariant from the paper's
+correctness argument, expressed over the effect analysis
+(:mod:`repro.analysis.effects`).  Three contract shapes exist:
+
+:class:`ReachContract`
+    "Nothing reachable from these roots has this effect."  Traversal
+    follows confident + ambiguous call edges and stops at *waived*
+    functions — each waiver carries a written justification, which the
+    report prints, so an auditor can re-examine it.
+:class:`CallerContract`
+    "These functions may only be called from this allow-list."  Only
+    confident call edges count (a dynamic-dispatch guess is already in
+    the unresolved report and should not fail the build).
+:class:`RaiseContract`
+    "Functions in this scope may only let these exceptions escape."
+
+To add a contract: pick the shape, give it a stable ``rule_id``
+(``effects-`` prefix, kebab-case), append it to :data:`CONTRACTS`, and
+document it in docs/ANALYSIS.md.  The rule machinery in
+``rules/whole_program.py`` materialises one lint rule per entry, so the
+new id immediately works with ``--select``, suppressions and SARIF.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """A deliberate hole in a ReachContract, with its justification."""
+
+    qualname: str
+    why: str
+
+
+@dataclass(frozen=True)
+class ReachContract:
+    """Forbid ``effect`` anywhere reachable from functions matching
+    ``roots`` (exact qualnames, or prefixes ending with a dot)."""
+
+    rule_id: str
+    description: str
+    roots: tuple
+    effect: str
+    waivers: tuple = field(default=())
+
+    def waived_qualnames(self):
+        return tuple(w.qualname for w in self.waivers)
+
+
+@dataclass(frozen=True)
+class CallerContract:
+    """``callees`` may only be called from ``allowed_callers``."""
+
+    rule_id: str
+    description: str
+    callees: tuple
+    allowed_callers: tuple
+
+
+@dataclass(frozen=True)
+class RaiseContract:
+    """Functions whose qualname starts with ``scope`` may only raise
+    ``allowed`` exception types (subclasses included)."""
+
+    rule_id: str
+    description: str
+    scope: str
+    allowed: tuple
+
+
+CONTRACTS = (
+    ReachContract(
+        rule_id="effects-recovery-rng",
+        description=(
+            "recovery/rebuild paths must be RNG-free: crash recovery has "
+            "to reconstruct the identical FTL state on every replay"
+        ),
+        roots=("repro.ftl.recovery.", "repro.timessd.recovery."),
+        effect="consumes-rng",
+    ),
+    ReachContract(
+        rule_id="effects-read-path-flash",
+        description=(
+            "host read paths must not program or erase flash: a read "
+            "that mutates media can destroy the history it serves"
+        ),
+        roots=(
+            "repro.nvme.controller.NVMeController._op_read",
+            "repro.ftl.ssd.BaseSSD.read",
+            "repro.ftl.ssd.BaseSSD.read_range",
+            "repro.timessd.ssd.TimeSSD.version_chain",
+        ),
+        effect="mutates-flash",
+        waivers=(
+            Waiver(
+                "repro.ftl.ssd.BaseSSD._before_host_request",
+                "idle-window housekeeping: GC may program/erase before "
+                "the host op is admitted, never as part of serving it; "
+                "the differential oracle (tests/integration) checks "
+                "read-your-writes across this boundary",
+            ),
+            Waiver(
+                "repro.ftl.ssd.BaseSSD._after_host_request",
+                "post-op housekeeping hook, runs after the read result "
+                "is already materialised; mutations here are background "
+                "work accounted to the device, not the read",
+            ),
+            Waiver(
+                "repro.timessd.ssd.TimeSSD._after_host_request",
+                "retention shrink + delta compression fire after the "
+                "host op completes (paper §4: background epoch "
+                "maintenance); the read's return value is computed "
+                "before this hook runs",
+            ),
+        ),
+    ),
+    CallerContract(
+        rule_id="effects-fault-hook-sites",
+        description=(
+            "fault hooks may fire only from the flash pre-commit points: "
+            "injecting anywhere else would fault state the media model "
+            "never exposed"
+        ),
+        callees=(
+            "repro.faults.hooks.FaultHooks.on_read",
+            "repro.faults.hooks.FaultHooks.on_program",
+            "repro.faults.hooks.FaultHooks.on_erase",
+        ),
+        allowed_callers=(
+            "repro.flash.device.FlashDevice.read_page",
+            "repro.flash.device.FlashDevice.read_oob",
+            "repro.flash.device.FlashDevice.program_page",
+            "repro.flash.device.FlashDevice.erase_block",
+        ),
+    ),
+    RaiseContract(
+        rule_id="effects-obs-raises",
+        description=(
+            "observability may only raise ReproError: an emit site that "
+            "can throw anything else would let metrics crash the FTL "
+            "hot path"
+        ),
+        scope="repro.obs.",
+        allowed=("repro.common.errors.ReproError",),
+    ),
+)
+
+
+def contract_ids():
+    return tuple(c.rule_id for c in CONTRACTS)

@@ -17,12 +17,21 @@ The driver never imports the code under analysis — everything is pure
 """
 
 import ast
+import io
 import os
 import re
+import tokenize
 from dataclasses import dataclass
 
 #: Pseudo rule id reported when a file does not parse at all.
 PARSE_ERROR_RULE = "parse-error"
+
+#: Rule id for suppressions that no longer suppress anything.  The rule
+#: class (rules/suppressions.py) exists for --list-rules/--select; the
+#: detection itself lives in the driver, which knows which suppressions
+#: filtered a violation.  Deliberately NOT filterable by a blanket
+#: ignore comment — a stale waiver must not hide its own staleness.
+UNUSED_SUPPRESSION_RULE = "unused-suppression"
 
 _SUPPRESS_RE = re.compile(
     r"#\s*almanac:\s*ignore(?:\[(?P<ids>[A-Za-z0-9_,\s-]*)\])?"
@@ -58,10 +67,14 @@ class LintRule:
 
     #: Stable kebab-case identifier, used in reports and suppressions.
     rule_id = None
-    #: Rule family: ``determinism``, ``layering`` or ``hygiene``.
+    #: Rule family: ``determinism``, ``layering``, ``hygiene``,
+    #: ``callgraph``, ``effects`` or ``domains``.
     pack = None
     #: One-line human description (shown by ``--list-rules``).
     description = ""
+    #: Deep rules need the whole-program call graph; they run only under
+    #: ``--deep`` or when selected explicitly.
+    deep = False
 
     def check(self, module, project):
         raise NotImplementedError
@@ -104,6 +117,12 @@ def all_rules():
     return sorted(_REGISTRY.values(), key=lambda r: (r.pack, r.rule_id))
 
 
+def default_rules():
+    """The fast selection: every rule except the deep (whole-program)
+    passes.  ``--deep`` or an explicit ``--select`` widens this."""
+    return [rule for rule in all_rules() if not rule.deep]
+
+
 def rules_by_id(rule_ids):
     """Resolve a list of rule ids (or pack names) to rule instances."""
     _load_rule_packs()
@@ -127,18 +146,31 @@ def _load_rule_packs():
 
 
 def _parse_suppressions(source):
-    """Map 1-based line number -> set of suppressed rule ids ('*' = all)."""
+    """Map 1-based line number -> set of suppressed rule ids ('*' = all).
+
+    Tokenized so only *real* comments count — a docstring or string
+    literal that mentions ``# almanac: ignore[...]`` (this framework's
+    own documentation does) must neither suppress anything nor be
+    reported as an unused suppression.
+    """
     table = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(text)
-        if match is None:
-            continue
-        ids = match.group("ids")
-        if ids is None:
-            table[lineno] = {"*"}
-        else:
-            names = {part.strip() for part in ids.split(",") if part.strip()}
-            table[lineno] = names or {"*"}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            ids = match.group("ids")
+            if ids is None:
+                table[token.start[0]] = {"*"}
+            else:
+                names = {
+                    part.strip() for part in ids.split(",") if part.strip()
+                }
+                table[token.start[0]] = names or {"*"}
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparseable tail: keep what tokenized; rules won't run anyway
     return table
 
 
@@ -186,14 +218,33 @@ class SourceModule:
 
     @classmethod
     def from_path(cls, path, display_path=None):
-        with open(path, "r", encoding="utf-8") as handle:
-            return cls(path, handle.read(), display_path=display_path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (UnicodeDecodeError, ValueError) as exc:
+            # A file the reader cannot decode is reported like a syntax
+            # error, never crashed on: the runner must survive any input.
+            module = cls(path, "", display_path=display_path)
+            module.tree = None
+            module.parse_error = _DecodeError(str(exc))
+            return module
+        return cls(path, source, display_path=display_path)
 
     def is_suppressed(self, violation):
         names = self.suppressions.get(violation.line)
         if not names:
             return False
         return "*" in names or violation.rule_id in names
+
+
+class _DecodeError:
+    """Stand-in for SyntaxError when a file is not valid UTF-8 text."""
+
+    lineno = None
+    offset = None
+
+    def __init__(self, msg):
+        self.msg = msg
 
 
 class Project:
@@ -237,13 +288,96 @@ def collect_files(paths):
     return sorted(set(found))
 
 
-def analyze_paths(paths, rules=None):
-    """Lint ``paths`` (files or directories) and return sorted violations."""
+def _check_module(module, rules, project):
+    """Run ``rules`` over one module.
+
+    Returns ``(violations, used)`` where ``used`` is the set of
+    ``(line, name)`` suppression entries that filtered a violation
+    (``name`` is a rule id, or ``"*"`` for a blanket ignore).
+    """
+    violations = []
+    used = set()
+    for rule in rules:
+        if rule.rule_id == UNUSED_SUPPRESSION_RULE:
+            continue  # driver-implemented below
+        for violation in rule.check(module, project):
+            names = module.suppressions.get(violation.line)
+            if names and violation.rule_id in names:
+                used.add((violation.line, violation.rule_id))
+            elif names and "*" in names:
+                used.add((violation.line, "*"))
+            else:
+                violations.append(violation)
+    return violations, used
+
+
+def _unused_suppressions(modules, used_by_path, selected_ids):
+    """Driver phase for the ``unused-suppression`` rule.
+
+    An id-ful suppression is unused when its id was selected this run
+    and filtered nothing on its line.  A blanket ignore is judged only
+    when the full registry ran (a subset run cannot prove it stale).
+    This check deliberately bypasses suppression filtering.
+    """
+    check_blanket = selected_ids >= {r.rule_id for r in all_rules()}
+    violations = []
+    for module in modules:
+        if module.parse_error is not None:
+            continue
+        used = used_by_path.get(module.path, set())
+        for line in sorted(module.suppressions):
+            for name in sorted(module.suppressions[line]):
+                if name == "*":
+                    if check_blanket and (line, "*") not in used:
+                        violations.append(
+                            Violation(
+                                rule_id=UNUSED_SUPPRESSION_RULE,
+                                path=module.path,
+                                line=line,
+                                col=1,
+                                message=(
+                                    "blanket '# almanac: ignore' "
+                                    "suppressed nothing; remove it"
+                                ),
+                            )
+                        )
+                elif (
+                    name in selected_ids
+                    and name != UNUSED_SUPPRESSION_RULE
+                    and (line, name) not in used
+                ):
+                    violations.append(
+                        Violation(
+                            rule_id=UNUSED_SUPPRESSION_RULE,
+                            path=module.path,
+                            line=line,
+                            col=1,
+                            message=(
+                                "suppression of %r no longer fires; "
+                                "remove the stale waiver" % name
+                            ),
+                        )
+                    )
+    return violations
+
+
+def analyze_paths(paths, rules=None, cache=None):
+    """Lint ``paths`` (files or directories) and return sorted violations.
+
+    ``rules=None`` means *every* registered rule, deep passes included.
+    ``cache`` is an optional :class:`repro.analysis.cache.ResultCache`;
+    shallow results are reused per unchanged file, deep results per
+    unchanged tree.
+    """
     if rules is None:
         rules = all_rules()
+    selected_ids = {rule.rule_id for rule in rules}
+    shallow = [rule for rule in rules if not rule.deep]
+    deep = [rule for rule in rules if rule.deep]
     modules = [SourceModule.from_path(p) for p in collect_files(paths)]
     project = Project(modules)
     violations = []
+    used_by_path = {}
     for module in modules:
         if module.parse_error is not None:
             exc = module.parse_error
@@ -257,8 +391,39 @@ def analyze_paths(paths, rules=None):
                 )
             )
             continue
-        for rule in rules:
-            for violation in rule.check(module, project):
-                if not module.is_suppressed(violation):
-                    violations.append(violation)
+        entry = cache.lookup_file(module) if cache is not None else None
+        if entry is None:
+            found, used = _check_module(module, shallow, project)
+            if cache is not None:
+                cache.store_file(module, found, used)
+        else:
+            found, used = entry
+        violations.extend(found)
+        if used:
+            used_by_path.setdefault(module.path, set()).update(used)
+    if deep:
+        entry = cache.lookup_deep(modules) if cache is not None else None
+        if entry is None:
+            deep_violations = []
+            deep_used = {}
+            for module in modules:
+                if module.parse_error is not None:
+                    continue
+                found, used = _check_module(module, deep, project)
+                deep_violations.extend(found)
+                if used:
+                    deep_used[module.path] = used
+            if cache is not None:
+                cache.store_deep(modules, deep_violations, deep_used)
+        else:
+            deep_violations, deep_used = entry
+        violations.extend(deep_violations)
+        for path, used in deep_used.items():
+            used_by_path.setdefault(path, set()).update(used)
+    if UNUSED_SUPPRESSION_RULE in selected_ids:
+        violations.extend(
+            _unused_suppressions(modules, used_by_path, selected_ids)
+        )
+    if cache is not None:
+        cache.save()
     return sorted(violations, key=Violation.sort_key)

@@ -1,6 +1,7 @@
-"""Violation reporters: human text and machine JSON."""
+"""Violation reporters: human text, machine JSON, and SARIF 2.1.0."""
 
 import json
+import os
 
 
 def format_text(violations):
@@ -40,3 +41,67 @@ def format_json(violations):
         indent=2,
         sort_keys=True,
     )
+
+
+def _sarif_uri(path):
+    """Repo-relative, forward-slash URI for a violation path."""
+    relative = os.path.relpath(path)
+    if relative.startswith(".."):
+        relative = path  # outside the tree: keep it verbatim
+    return relative.replace(os.sep, "/")
+
+
+def format_sarif(violations, rules=()):
+    """SARIF 2.1.0 (what GitHub code scanning ingests for inline PR
+    annotations).  ``rules`` populates the tool's rule metadata so the
+    annotation UI can show each rule's description."""
+    rule_metadata = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.description or rule.rule_id},
+            "properties": {"pack": rule.pack},
+        }
+        for rule in rules
+    ]
+    results = [
+        {
+            "ruleId": v.rule_id,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _sarif_uri(v.path),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": v.line,
+                            "startColumn": v.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "almanac-lint",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": rule_metadata,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,3 +1,10 @@
 """Built-in rule packs.  Importing this package registers every rule."""
 
-from repro.analysis.rules import determinism, hygiene, layering  # noqa: F401
+from repro.analysis.rules import (  # noqa: F401  (import-for-effect)
+    address_domains,
+    determinism,
+    hygiene,
+    layering,
+    suppressions,
+    whole_program,
+)

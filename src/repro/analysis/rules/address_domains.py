@@ -1,0 +1,47 @@
+"""Deep rules: the address-domain dataflow findings.
+
+Three rule ids share one per-module flow-sensitive pass
+(:mod:`repro.analysis.domains`); the pass result is cached on the
+project so selecting all three costs one walk.
+"""
+
+from repro.analysis.core import LintRule, register
+from repro.analysis.domains import domain_findings
+
+
+class _DomainRule(LintRule):
+    pack = "domains"
+    deep = True
+
+    def check(self, module, project):
+        if module.tree is None:
+            return
+        for finding in domain_findings(module, project):
+            if finding.rule_id == self.rule_id:
+                yield self.violation(module, finding, finding.message)
+
+
+@register
+class CrossAssignRule(_DomainRule):
+    rule_id = "domains-cross-assign"
+    description = (
+        "assignment stores a value from one address domain (LBA/PPA/"
+        "block-id/t-us/bytes/pages) into a name seeded as another"
+    )
+
+
+@register
+class CrossCompareRule(_DomainRule):
+    rule_id = "domains-cross-compare"
+    description = (
+        "comparison or +/- arithmetic mixes two address domains"
+    )
+
+
+@register
+class CrossArgRule(_DomainRule):
+    rule_id = "domains-cross-arg"
+    description = (
+        "argument's address domain contradicts the callee parameter's "
+        "seeded domain"
+    )

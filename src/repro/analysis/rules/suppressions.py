@@ -1,0 +1,28 @@
+"""The ``unused-suppression`` rule.
+
+The class below exists so the id shows up in ``--list-rules`` and can
+be ``--select``-ed; the actual detection lives in the driver
+(:func:`repro.analysis.core._unused_suppressions`), which is the only
+place that knows which suppressions filtered a violation during the
+run.  The driver also refuses to let a blanket ``# almanac: ignore``
+hide this rule — a stale waiver cannot waive its own staleness.
+"""
+
+from repro.analysis.core import (
+    UNUSED_SUPPRESSION_RULE,
+    LintRule,
+    register,
+)
+
+
+@register
+class UnusedSuppressionRule(LintRule):
+    rule_id = UNUSED_SUPPRESSION_RULE
+    pack = "hygiene"
+    description = (
+        "an '# almanac: ignore[...]' comment suppressed nothing this "
+        "run; stale waivers must expire, not accumulate"
+    )
+
+    def check(self, module, project):
+        return iter(())  # driver-implemented; see core._unused_suppressions

@@ -2,21 +2,36 @@
 
 Exit status: 0 clean, 1 violations found, 2 usage error.  The same
 entry point backs the ``repro lint`` CLI subcommand.
+
+The default selection is every *shallow* rule; ``--deep`` adds the
+whole-program passes (call graph, effect contracts, address domains).
+``--select``/``--ignore`` filter by rule id or pack name.  Results are
+cached under ``--cache-dir`` (default ``.almanac-cache/``) keyed on
+file content and analyzer version; ``--no-cache`` disables it.
 """
 
 import argparse
 import sys
 
-from repro.analysis.core import all_rules, analyze_paths, rules_by_id
-from repro.analysis.reporting import format_json, format_text
+from repro.analysis.core import (
+    Project,
+    SourceModule,
+    all_rules,
+    analyze_paths,
+    collect_files,
+    default_rules,
+    rules_by_id,
+)
+from repro.analysis.reporting import format_json, format_sarif, format_text
 
 
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
-            "almanac-lint: determinism, layering and hygiene checks for "
-            "the simulator (see docs/ANALYSIS.md)"
+            "almanac-lint/deepcheck: determinism, layering, hygiene and "
+            "whole-program effect/domain checks for the simulator "
+            "(see docs/ANALYSIS.md)"
         ),
     )
     parser.add_argument(
@@ -27,46 +42,124 @@ def build_parser():
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
+        "--select",
         "--rules",
-        help="comma-separated rule ids or pack names "
-        "(default: every registered rule)",
+        dest="select",
+        help="comma-separated rule ids or pack names to run "
+        "(default: every shallow rule; every rule with --deep)",
+    )
+    parser.add_argument(
+        "--ignore",
+        help="comma-separated rule ids or pack names to drop from the "
+        "selection",
+    )
+    parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="include the whole-program passes (call-graph, effect "
+        "contracts, address-domain dataflow)",
     )
     parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
     )
+    parser.add_argument(
+        "--show-unresolved",
+        action="store_true",
+        help="print the call-graph unresolved-call report to stderr "
+        "(implies building the call graph)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: .almanac-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this run",
+    )
     return parser
+
+
+def _split_ids(text):
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _select_rules(args):
+    if args.select:
+        rules = rules_by_id(_split_ids(args.select))
+    elif args.deep:
+        rules = all_rules()
+    else:
+        rules = default_rules()
+    if args.ignore:
+        dropped = set(_split_ids(args.ignore))
+        rules = [
+            rule
+            for rule in rules
+            if rule.rule_id not in dropped and rule.pack not in dropped
+        ]
+    return rules
+
+
+def _make_cache(args, rules):
+    if args.no_cache:
+        return None
+    from repro.analysis.cache import DEFAULT_CACHE_DIR, ResultCache
+
+    directory = args.cache_dir or DEFAULT_CACHE_DIR
+    return ResultCache(directory, [rule.rule_id for rule in rules])
+
+
+def _print_unresolved(paths):
+    from repro.analysis.callgraph import build_call_graph
+
+    modules = [SourceModule.from_path(p) for p in collect_files(paths)]
+    graph = build_call_graph(Project(modules))
+    print(
+        "unresolved calls: %d" % len(graph.unresolved), file=sys.stderr
+    )
+    for entry in sorted(
+        graph.unresolved, key=lambda u: (u.path, u.line, u.col)
+    ):
+        print("  %s" % entry, file=sys.stderr)
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
     if args.list_rules:
         for rule in all_rules():
-            print("%-28s %-12s %s" % (rule.rule_id, rule.pack, rule.description))
-        return 0
-    if args.rules:
-        try:
-            rules = rules_by_id(
-                [part.strip() for part in args.rules.split(",") if part.strip()]
+            marker = " [deep]" if rule.deep else ""
+            print(
+                "%-28s %-12s %s%s"
+                % (rule.rule_id, rule.pack, rule.description, marker)
             )
-        except KeyError as exc:
-            print("error: %s" % exc.args[0], file=sys.stderr)
-            return 2
-    else:
-        rules = all_rules()
+        return 0
     try:
-        violations = analyze_paths(args.paths, rules)
+        rules = _select_rules(args)
+    except KeyError as exc:
+        print("error: %s" % exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        violations = analyze_paths(
+            args.paths, rules, cache=_make_cache(args, rules)
+        )
+        if args.show_unresolved:
+            _print_unresolved(args.paths)
     except FileNotFoundError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
     if args.format == "json":
         print(format_json(violations))
+    elif args.format == "sarif":
+        print(format_sarif(violations, rules))
     else:
         print(format_text(violations))
     return 1 if violations else 0

@@ -11,7 +11,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.common.units import MINUTE_US
-from repro.timekits.api import TimeKits, _pick_as_of
+from repro.timekits.api import TimeKits, pick_as_of
 from repro.workloads.content import ContentFactory
 
 # The ten kernel source files of Figure 11.
@@ -116,17 +116,17 @@ class FileRevertStudy:
         kits = TimeKits(ssd)
         lpas = self.fs.file_lpas(name)
         start = ssd.clock.now_us
-        chains, _elapsed = kits._walk_many(lpas, threads, until_ts=t)
+        chains, _elapsed = kits.walk_many(lpas, threads, until_ts=t)
         recovered = []
         writes = []
         for page_index, lpa in enumerate(lpas):
-            version = _pick_as_of(chains.get(lpa, []), t)
+            version = pick_as_of(chains.get(lpa, []), t)
             recovered.append(version.data if version else None)
             if version is not None:
                 writes.append((lpa, version.data))
         # PlainFS places pages in-place, so device-level restore writes
         # land exactly where the file system expects the content.
-        kits._restore_many(writes, threads)
+        kits.restore_many(writes, threads)
         elapsed = ssd.clock.now_us - start
         verified = True
         if verify:

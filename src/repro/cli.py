@@ -234,10 +234,20 @@ def _cmd_lint(args):
 
     argv = list(args.paths)
     argv += ["--format", args.format]
-    if args.rules:
-        argv += ["--rules", args.rules]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
+    if args.deep:
+        argv += ["--deep"]
     if args.list_rules:
         argv += ["--list-rules"]
+    if args.show_unresolved:
+        argv += ["--show-unresolved"]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.no_cache:
+        argv += ["--no-cache"]
     return lint_main(argv)
 
 
@@ -315,9 +325,28 @@ def build_parser():
     lint.add_argument(
         "paths", nargs="*", default=["src/repro"], help="files or directories"
     )
-    lint.add_argument("--format", choices=("text", "json"), default="text")
-    lint.add_argument("--rules", help="comma-separated rule ids or pack names")
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
+    lint.add_argument(
+        "--select",
+        "--rules",
+        dest="select",
+        help="comma-separated rule ids or pack names to run",
+    )
+    lint.add_argument(
+        "--ignore",
+        help="comma-separated rule ids or pack names to drop",
+    )
+    lint.add_argument(
+        "--deep",
+        action="store_true",
+        help="include the whole-program passes",
+    )
     lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument("--show-unresolved", action="store_true")
+    lint.add_argument("--cache-dir", default=None)
+    lint.add_argument("--no-cache", action="store_true")
     lint.set_defaults(fn=_cmd_lint)
 
     torture = sub.add_parser(

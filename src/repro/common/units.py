@@ -1,7 +1,32 @@
 """Size and time units used throughout the simulator.
 
 All simulated time is carried as integer microseconds.  All sizes are bytes.
+
+The :func:`typing.NewType` aliases below are the *address-domain*
+vocabulary: LBAs, PPAs, block ids, timestamps, byte counts and page
+counts are all plain ``int`` at runtime, which is exactly how the
+paper's OOB back-pointer and reverse-index bugs (§3) happen — an LBA
+stored where a PPA belongs is still just an integer.  Annotating a
+parameter with one of these aliases costs nothing at runtime and seeds
+``almanac-deepcheck``'s address-domain dataflow pass
+(:mod:`repro.analysis.domains`), which flags cross-domain assignments,
+comparisons and argument passing statically.
 """
+
+from typing import NewType
+
+#: Logical (host-visible) page address.
+Lba = NewType("Lba", int)
+#: Physical (flash) page address.
+Ppa = NewType("Ppa", int)
+#: Physical block address (flat block id).
+BlockId = NewType("BlockId", int)
+#: Simulated time: an instant or duration in integer microseconds.
+TimeUs = NewType("TimeUs", int)
+#: A size in bytes.
+ByteCount = NewType("ByteCount", int)
+#: A count of pages (not an address).
+PageCount = NewType("PageCount", int)
 
 KIB = 1024
 MIB = 1024 * KIB

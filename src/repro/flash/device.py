@@ -9,6 +9,7 @@ are kept in one place so a single call site cannot forget either.
 from dataclasses import dataclass, field
 
 from repro.common.errors import EraseFailureError, ProgramFailureError
+from repro.common.units import BlockId, Ppa, TimeUs
 from repro.flash.block import Block
 from repro.flash.geometry import FlashGeometry
 from repro.flash.reliability import ReliabilityEngine
@@ -100,7 +101,7 @@ class FlashDevice:
 
     # --- Functional + timed operations --------------------------------------
 
-    def read_page(self, ppa, now_us=0):
+    def read_page(self, ppa: Ppa, now_us: TimeUs = 0):
         """Read a page; returns :class:`ReadResult` with completion time.
 
         Timing: the cell sense occupies the chip, then the data transfer
@@ -132,7 +133,7 @@ class FlashDevice:
             tr.emit("flash-op", "read", complete, ppa=ppa, start_us=int(now_us))
         return ReadResult(data, oob, complete)
 
-    def read_oob(self, ppa, now_us=0):
+    def read_oob(self, ppa: Ppa, now_us: TimeUs = 0):
         """Read only a page's OOB metadata.
 
         Real controllers fetch OOB together with the page, so this costs a
@@ -140,7 +141,7 @@ class FlashDevice:
         """
         return self.read_page(ppa, now_us)
 
-    def program_page(self, ppa, data, oob, now_us=0):
+    def program_page(self, ppa: Ppa, data, oob, now_us: TimeUs = 0):
         """Program an erased page; returns the completion time.
 
         Timing: the bus transfer occupies the channel, then the cell
@@ -173,7 +174,7 @@ class FlashDevice:
             tr.emit("flash-op", "program", complete, ppa=ppa, start_us=int(now_us))
         return complete
 
-    def erase_block(self, pba, now_us=0):
+    def erase_block(self, pba: BlockId, now_us: TimeUs = 0):
         """Erase a block; returns the completion time.
 
         Erase occupies only the die — the channel stays free for other
@@ -200,7 +201,7 @@ class FlashDevice:
 
     # --- Untimed peeks (host-side tooling / assertions only) ----------------
 
-    def peek_page(self, ppa):
+    def peek_page(self, ppa: Ppa):
         """Inspect a page without timing or counters (tests, invariants)."""
         geo = self.geometry
         block = self.blocks[geo.block_of_page(ppa)]

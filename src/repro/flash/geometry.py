@@ -10,6 +10,7 @@ round-robin, matching how real FTLs spread load.
 from dataclasses import dataclass
 
 from repro.common.errors import AddressError
+from repro.common.units import BlockId, Ppa
 
 
 @dataclass(frozen=True)
@@ -61,41 +62,41 @@ class FlashGeometry:
 
     # --- Address arithmetic -------------------------------------------------
 
-    def check_ppa(self, ppa):
+    def check_ppa(self, ppa: Ppa):
         if not 0 <= ppa < self.total_pages:
             raise AddressError("PPA %r out of range [0, %d)" % (ppa, self.total_pages))
 
-    def check_pba(self, pba):
+    def check_pba(self, pba: BlockId):
         if not 0 <= pba < self.total_blocks:
             raise AddressError("PBA %r out of range [0, %d)" % (pba, self.total_blocks))
 
-    def block_of_page(self, ppa):
+    def block_of_page(self, ppa: Ppa) -> BlockId:
         """PBA containing the given PPA."""
         self.check_ppa(ppa)
         return ppa // self.pages_per_block
 
-    def page_offset(self, ppa):
+    def page_offset(self, ppa: Ppa):
         """Index of the page within its block."""
         self.check_ppa(ppa)
         return ppa % self.pages_per_block
 
-    def first_page_of_block(self, pba):
+    def first_page_of_block(self, pba: BlockId) -> Ppa:
         self.check_pba(pba)
         return pba * self.pages_per_block
 
-    def pages_of_block(self, pba):
+    def pages_of_block(self, pba: BlockId):
         """Range of PPAs belonging to block ``pba``."""
         first = self.first_page_of_block(pba)
         return range(first, first + self.pages_per_block)
 
-    def channel_of_block(self, pba):
+    def channel_of_block(self, pba: BlockId):
         self.check_pba(pba)
         return pba % self.channels
 
-    def channel_of_page(self, ppa):
+    def channel_of_page(self, ppa: Ppa):
         return self.channel_of_block(self.block_of_page(ppa))
 
-    def chip_of_block(self, pba):
+    def chip_of_block(self, pba: BlockId):
         """(channel, chip) coordinates of a block."""
         self.check_pba(pba)
         blocks_per_channel = self.total_blocks // self.channels

@@ -10,6 +10,7 @@ import enum
 from collections import deque
 
 from repro.common.errors import AddressError, DeviceFullError
+from repro.common.units import BlockId, Ppa, TimeUs
 
 
 class BlockKind(enum.Enum):
@@ -88,7 +89,7 @@ class BlockManager:
                 return self._free[channel].popleft()
         raise DeviceFullError("free count out of sync with pools")
 
-    def release_block(self, pba):
+    def release_block(self, pba: BlockId):
         """Return an erased block to the free pool — or retire it.
 
         With a configured endurance budget, a block that has used up its
@@ -112,7 +113,7 @@ class BlockManager:
         self._free[self._geo.channel_of_block(pba)].append(pba)
         self._free_count += 1
 
-    def claim_block(self, pba, kind=BlockKind.DATA):
+    def claim_block(self, pba: BlockId, kind=BlockKind.DATA):
         """Remove an occupied block from a fresh manager's free pool.
 
         Crash recovery builds a new :class:`BlockManager` (all blocks
@@ -126,7 +127,7 @@ class BlockManager:
         self._free_count -= 1
         self.set_kind(pba, kind)
 
-    def condemn_block(self, pba):
+    def condemn_block(self, pba: BlockId):
         """Stop appending to a block that grew a bad page (program failed).
 
         The block keeps its kind and valid pages; GC will migrate them
@@ -135,7 +136,7 @@ class BlockManager:
         """
         self._forget_active(pba)
 
-    def retire_failed_block(self, pba):
+    def retire_failed_block(self, pba: BlockId):
         """Take a known-bad block out of service immediately.
 
         Used by crash recovery when the media says ``failed`` but the
@@ -158,7 +159,7 @@ class BlockManager:
         info.kind = BlockKind.RETIRED
         self.retired_blocks += 1
 
-    def seal_block(self, pba):
+    def seal_block(self, pba: BlockId):
         """Mark a partial block as never-to-be-appended (GC may claim it)."""
         self._info[pba].sealed = True
         self._forget_active(pba)
@@ -183,7 +184,7 @@ class BlockManager:
     # Streams that stripe consecutive pages across channels.
     _STRIPED_STREAMS = frozenset((StreamId.USER, StreamId.GC))
 
-    def allocate_page(self, stream):
+    def allocate_page(self, stream) -> Ppa:
         """Next writable PPA for ``stream``, opening a new block if needed."""
         return self.allocate_page_keyed(
             stream,
@@ -191,7 +192,7 @@ class BlockManager:
             striped=stream in self._STRIPED_STREAMS,
         )
 
-    def allocate_page_keyed(self, key, kind, striped=False):
+    def allocate_page_keyed(self, key, kind, striped=False) -> Ppa:
         """Like :meth:`allocate_page` but for a dynamic stream ``key``.
 
         TimeSSD uses one (unstriped) stream per bloom-filter time segment
@@ -269,7 +270,7 @@ class BlockManager:
 
     # --- Validity tracking (PVT) ---------------------------------------------
 
-    def mark_valid(self, ppa):
+    def mark_valid(self, ppa: Ppa):
         pba = self._geo.block_of_page(ppa)
         offset = self._geo.page_offset(ppa)
         info = self._info[pba]
@@ -277,7 +278,7 @@ class BlockManager:
             info.valid[offset] = 1
             info.valid_count += 1
 
-    def invalidate_page(self, ppa):
+    def invalidate_page(self, ppa: Ppa):
         """Clear the PVT bit for ``ppa`` (update/delete made it stale)."""
         pba = self._geo.block_of_page(ppa)
         offset = self._geo.page_offset(ppa)
@@ -286,14 +287,14 @@ class BlockManager:
             info.valid[offset] = 0
             info.valid_count -= 1
 
-    def is_valid(self, ppa):
+    def is_valid(self, ppa: Ppa):
         pba = self._geo.block_of_page(ppa)
         return bool(self._info[pba].valid[self._geo.page_offset(ppa)])
 
-    def valid_count(self, pba):
+    def valid_count(self, pba: BlockId):
         return self._info[pba].valid_count
 
-    def invalid_count(self, pba):
+    def invalid_count(self, pba: BlockId):
         """Programmed-but-stale page count (the BST invalid counter)."""
         programmed = self.device.blocks[pba].write_pointer
         return programmed - self._info[pba].valid_count
@@ -334,7 +335,7 @@ class BlockManager:
                 best_pba = pba
         return best_pba
 
-    def select_cost_benefit_victim(self, now_us, kind=BlockKind.DATA):
+    def select_cost_benefit_victim(self, now_us: TimeUs, kind=BlockKind.DATA):
         """LFS-style cost-benefit victim: maximize (1-u)*age / (1+u).
 
         ``u`` is the block\'s valid fraction (the migration cost) and
@@ -356,7 +357,7 @@ class BlockManager:
                 best_pba = pba
         return best_pba
 
-    def select_victim(self, policy, now_us, kind=BlockKind.DATA):
+    def select_victim(self, policy, now_us: TimeUs, kind=BlockKind.DATA):
         """Dispatch on the configured GC victim policy."""
         if policy == "greedy":
             return self.select_greedy_victim(kind)

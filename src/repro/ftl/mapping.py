@@ -15,6 +15,7 @@ comparisons; the demand-paged mode exists for fidelity studies.
 from collections import OrderedDict
 
 from repro.common.errors import AddressError
+from repro.common.units import Lba, Ppa
 from repro.flash.page import NULL_PPA
 
 # How many mapping entries one 4 KiB translation page holds (8-byte PPAs),
@@ -60,13 +61,13 @@ class AddressMappingTable:
         if writing:
             self._dirty.add(lpa)
 
-    def lookup(self, lpa):
+    def lookup(self, lpa: Lba) -> Ppa:
         """Current PPA for ``lpa`` (``NULL_PPA`` when never written)."""
         self._check(lpa)
         self._touch(lpa, writing=False)
         return self._table[lpa]
 
-    def update(self, lpa, ppa):
+    def update(self, lpa: Lba, ppa: Ppa) -> Ppa:
         """Point ``lpa`` at ``ppa``; returns the previous PPA."""
         self._check(lpa)
         self._touch(lpa, writing=True)
@@ -74,11 +75,11 @@ class AddressMappingTable:
         self._table[lpa] = ppa
         return old
 
-    def invalidate(self, lpa):
+    def invalidate(self, lpa: Lba) -> Ppa:
         """Drop the mapping (TRIM/delete); returns the previous PPA."""
         return self.update(lpa, NULL_PPA)
 
-    def is_mapped(self, lpa):
+    def is_mapped(self, lpa: Lba):
         self._check(lpa)
         return self._table[lpa] != NULL_PPA
 

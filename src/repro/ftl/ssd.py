@@ -17,6 +17,7 @@ from repro.common.errors import (
     EraseFailureError,
     ProgramFailureError,
 )
+from repro.common.units import Lba, Ppa, TimeUs
 from repro.flash.device import FlashDevice
 from repro.flash.geometry import FlashGeometry
 from repro.flash.page import NULL_PPA, OOBMetadata
@@ -218,6 +219,33 @@ class BaseSSD:
             out.append(data)
             total += response
         return out, total
+
+    # --- Frontend service points ------------------------------------------
+
+    def serve_write_at(self, lpa: Lba, data, start_us: TimeUs) -> TimeUs:
+        """Program one host page at ``start_us``; returns completion time.
+
+        The service point for co-packaged frontends (the NVMe batch
+        engine, TimeKits restore threads) that run their own time
+        cursors and therefore cannot go through :meth:`write`, which is
+        tied to the device clock.  Unlike :meth:`write` it performs no
+        admission work (``ensure_writable``, idle-window accounting,
+        latency recording) — that stays with the frontend, once per
+        request rather than once per page.
+        """
+        self._ensure_free_space(start_us)
+        complete = self._program_user_page(lpa, data, start_us)
+        self.host_pages_written += 1
+        return complete
+
+    def serve_trim_at(self, lpa: Lba, start_us: TimeUs):
+        """Invalidate one LPA at ``start_us`` (frontend counterpart of
+        :meth:`trim`); returns True when a mapping was dropped."""
+        old = self.mapping.invalidate(lpa)
+        if old != NULL_PPA:
+            self._on_invalidate(lpa, old, start_us)
+            return True
+        return False
 
     # --- Stats ------------------------------------------------------------
 
@@ -525,13 +553,19 @@ class BaseSSD:
             )
             bm.mark_valid(new_ppa)
             bm.invalidate_page(ppa)
-            self._remap_migrated_page(result.oob, ppa, new_ppa)
+            self.remap_migrated_page(result.oob, ppa, new_ppa)
             migrated += 1
         self._m_gc_migrated.inc(migrated)
         return migrated
 
-    def _remap_migrated_page(self, oob, old_ppa, new_ppa):
-        """Point the mapping at the migrated copy (no invalidation hook)."""
+    def remap_migrated_page(self, oob, old_ppa: Ppa, new_ppa: Ppa):
+        """Point the mapping at the migrated copy (no invalidation hook).
+
+        Part of the GC-collaborator surface (with
+        :meth:`program_with_retry`): the TimeSSD reclaimer and the
+        FlashGuard defense run their own migration loops and remap
+        through here.
+        """
         current = self.mapping.lookup(oob.lpa)
         if current == old_ppa:
             self.mapping.update(oob.lpa, new_ppa)

@@ -211,16 +211,12 @@ class NVMeController:
             ssd.ensure_writable()
             for i in range(command.nlb):
                 data = command.data[i] if command.data is not None else None
-                ssd._ensure_free_space(t)
-                t = ssd._program_user_page(command.slba + i, data, t)
-                ssd.host_pages_written += 1
+                t = ssd.serve_write_at(command.slba + i, data, t)
             return t
         if command.opcode == Opcode.DSM:
             ssd.ensure_writable()
             for i in range(command.nlb):
-                old = ssd.mapping.invalidate(command.slba + i)
-                if old != NULL_PPA:
-                    ssd._on_invalidate(command.slba + i, old, t)
+                ssd.serve_trim_at(command.slba + i, t)
             return t
         raise _InvalidOpcode()
 

@@ -15,6 +15,7 @@ per candidate event — the "near-zero when disabled" budget in ISSUE 4.
 from collections import deque
 
 from repro.common.errors import ReproError
+from repro.common.units import TimeUs
 
 __all__ = ["CATEGORIES", "EventTracer"]
 
@@ -36,7 +37,7 @@ class EventTracer:
         self.dropped = 0
         self._ring = deque(maxlen=capacity)
 
-    def emit(self, category, name, t_us, **fields):
+    def emit(self, category, name, t_us: TimeUs, **fields):
         """Record one event; no-op (and near-free) when disabled."""
         if not self.enabled:
             return

@@ -9,7 +9,7 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import QueryError
 from repro.security.flashguard import FlashGuardSSD
-from repro.timekits.api import TimeKits, _pick_as_of
+from repro.timekits.api import TimeKits, pick_as_of
 
 
 @dataclass
@@ -50,11 +50,11 @@ class RansomwareDefense:
         start = ssd.clock.now_us
         for name in attack_report.encrypted_files:
             lpas = attack_report.victim_extents[name]
-            chains, _ = kits._walk_many(lpas, threads)
+            chains, _ = kits.walk_many(lpas, threads)
             page_datas = []
             ok = True
             for lpa in lpas:
-                version = _pick_as_of(chains.get(lpa, []), t_clean)
+                version = pick_as_of(chains.get(lpa, []), t_clean)
                 if version is None:
                     ok = False
                     break

@@ -35,7 +35,7 @@ class QueryResult:
     pages_touched: int = 0
 
 
-def _pick_as_of(versions, t):
+def pick_as_of(versions, t):
     """Newest version written at or before ``t`` (versions newest-first)."""
     for version in versions:
         if version.timestamp_us <= t:
@@ -63,9 +63,9 @@ class TimeKits:
         self.ssd = ssd
         self._last_pages_touched = 0
 
-    # --- Internal fan-out ------------------------------------------------------
+    # --- Multi-LPA fan-out primitives (public: case studies build on them) ----
 
-    def _walk_many(self, lpas, threads=1, until_ts=None):
+    def walk_many(self, lpas, threads=1, until_ts=None):
         """Walk version chains of many LPAs with simulated threads.
 
         Returns ``(chains, elapsed_us)`` where ``chains`` maps LPA to its
@@ -96,7 +96,7 @@ class TimeKits:
         )
         return chains, end - start
 
-    def _restore_many(self, pairs, threads=1):
+    def restore_many(self, pairs, threads=1):
         """Write ``(lpa, data)`` pairs back with simulated threads.
 
         Rollback writes are regular writes (the pre-rollback state stays
@@ -108,10 +108,7 @@ class TimeKits:
         cursors = [start] * max(1, threads)
         for i, (lpa, data) in enumerate(pairs):
             k = i % len(cursors)
-            ssd._ensure_free_space(cursors[k])
-            complete = ssd._program_user_page(lpa, data, cursors[k])
-            ssd.host_pages_written += 1
-            cursors[k] = complete
+            cursors[k] = ssd.serve_write_at(lpa, data, cursors[k])
         ssd.clock.advance_to(max(cursors))
         return ssd.clock.now_us - start
 
@@ -128,9 +125,9 @@ class TimeKits:
 
     def addr_query(self, addr, cnt=1, t=0, threads=1):
         """State of each LPA as of time ``t`` (one version per LPA)."""
-        chains, elapsed = self._walk_many(self._range(addr, cnt), threads, until_ts=t)
+        chains, elapsed = self.walk_many(self._range(addr, cnt), threads, until_ts=t)
         picked = {
-            lpa: _pick_as_of(versions, t)
+            lpa: pick_as_of(versions, t)
             for lpa, versions in chains.items()
         }
         return QueryResult(picked, elapsed, self._last_pages_touched)
@@ -139,7 +136,7 @@ class TimeKits:
         """All versions written within ``[t1, t2]`` for each LPA."""
         if t1 > t2:
             raise QueryError("t1 must not exceed t2")
-        chains, elapsed = self._walk_many(
+        chains, elapsed = self.walk_many(
             self._range(addr, cnt), threads, until_ts=t1
         )
         out = {
@@ -150,7 +147,7 @@ class TimeKits:
 
     def addr_query_all(self, addr, cnt=1, threads=1):
         """Every retained version of each LPA in the retention window."""
-        chains, elapsed = self._walk_many(self._range(addr, cnt), threads)
+        chains, elapsed = self.walk_many(self._range(addr, cnt), threads)
         return QueryResult(chains, elapsed, self._last_pages_touched)
 
     # --- Time-based state queries (Table 1, rows 4-6) ---------------------------
@@ -158,7 +155,7 @@ class TimeKits:
     def _time_filtered(self, predicate, threads):
         """Scan all mapped LPAs, keeping write timestamps that match."""
         lpas = list(self.ssd.mapping.mapped_lpas())
-        chains, elapsed = self._walk_many(lpas, threads)
+        chains, elapsed = self.walk_many(lpas, threads)
         out = {}
         for lpa, versions in chains.items():
             stamps = [v.timestamp_us for v in versions if predicate(v.timestamp_us)]
@@ -190,20 +187,20 @@ class TimeKits:
         rollback can be rolled back.  Returns per-LPA restored versions.
         """
         start = self.ssd.clock.now_us
-        chains, _elapsed = self._walk_many(
+        chains, _elapsed = self.walk_many(
             self._range(addr, cnt), threads, until_ts=t
         )
         restored = {}
         writes = []
         for lpa, versions in chains.items():
-            target = _pick_as_of(versions, t)
+            target = pick_as_of(versions, t)
             if target is None:
                 continue
             restored[lpa] = target
             if _already_current(self.ssd, lpa, versions, target):
                 continue
             writes.append((lpa, target.data))
-        self._restore_many(writes, threads)
+        self.restore_many(writes, threads)
         elapsed = self.ssd.clock.now_us - start
         return QueryResult(restored, elapsed)
 
@@ -216,16 +213,16 @@ class TimeKits:
         """
         start = self.ssd.clock.now_us
         lpas = list(self.ssd.mapping.mapped_lpas())
-        chains, _elapsed = self._walk_many(lpas, threads, until_ts=t)
+        chains, _elapsed = self.walk_many(lpas, threads, until_ts=t)
         restored = {}
         writes = []
         for lpa, versions in chains.items():
-            target = _pick_as_of(versions, t)
+            target = pick_as_of(versions, t)
             if target is None:
                 continue
             restored[lpa] = target
             if _already_current(self.ssd, lpa, versions, target):
                 continue
             writes.append((lpa, target.data))
-        self._restore_many(writes, threads)
+        self.restore_many(writes, threads)
         return QueryResult(restored, self.ssd.clock.now_us - start)

@@ -8,7 +8,7 @@ ransomware case study recovers encrypted files through this helper.
 from dataclasses import dataclass
 
 from repro.common.errors import QueryError
-from repro.timekits.api import TimeKits, _already_current, _pick_as_of
+from repro.timekits.api import TimeKits, _already_current, pick_as_of
 
 
 @dataclass
@@ -42,19 +42,19 @@ class FileRecovery:
         """
         ssd = self.kits.ssd
         start = ssd.clock.now_us
-        chains, _ = self.kits._walk_many(lpas, threads, until_ts=t)
+        chains, _ = self.kits.walk_many(lpas, threads, until_ts=t)
         restored = {}
         writes = []
         for lpa in lpas:
             versions = chains.get(lpa, [])
-            target = _pick_as_of(versions, t)
+            target = pick_as_of(versions, t)
             if target is None:
                 continue
             restored[lpa] = target
             if _already_current(ssd, lpa, versions, target):
                 continue
             writes.append((lpa, target.data))
-        self.kits._restore_many(writes, threads)
+        self.kits.restore_many(writes, threads)
         return RecoveredFile(name, list(lpas), restored, ssd.clock.now_us - start)
 
     def peek_file(self, name, lpas, t, threads=1):
@@ -64,10 +64,10 @@ class FileRecovery:
         version data — useful for inspecting history before committing
         to a rollback.
         """
-        chains, elapsed = self.kits._walk_many(lpas, threads, until_ts=t)
+        chains, elapsed = self.kits.walk_many(lpas, threads, until_ts=t)
         pages = {}
         for lpa in lpas:
-            target = _pick_as_of(chains.get(lpa, []), t)
+            target = pick_as_of(chains.get(lpa, []), t)
             if target is not None:
                 pages[lpa] = target.data
         return pages, elapsed

@@ -17,9 +17,18 @@ Two codecs:
 from dataclasses import dataclass, field
 
 from repro.common.errors import DeviceFullError, ProgramFailureError, ReproError
+from repro.common.units import TimeUs
 from repro.flash.page import OOBMetadata
 from repro.ftl.block_manager import BlockKind
 from repro.timessd import lzf
+
+#: "This record has no compression reference" sentinel for
+#: :attr:`DeltaRecord.ref_ts`.  ``ref_ts`` is a *timestamp*, so its
+#: sentinel must live in the time domain — recovery tests it with
+#: ``ref_ts >= 0`` (uncompressed records carry it too); reusing the PPA
+#: sentinel here was exactly the paper-§3 class of cross-domain
+#: confusion almanac-deepcheck exists to catch.
+NO_REF_TS = TimeUs(-1)
 
 
 @dataclass

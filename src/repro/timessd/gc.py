@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from repro.common.errors import EraseFailureError
 from repro.flash.page import NULL_PPA, PageState
 from repro.ftl.block_manager import BlockKind, StreamId
-from repro.timessd.delta import DeltaRecord
+from repro.timessd.delta import NO_REF_TS, DeltaRecord
 
 
 @dataclass
@@ -117,7 +117,7 @@ class TimeSSDGarbageCollector:
         )
         ssd.block_manager.mark_valid(new_ppa)
         ssd.block_manager.invalidate_page(ppa)
-        ssd._remap_migrated_page(result.oob, ppa, new_ppa)
+        ssd.remap_migrated_page(result.oob, ppa, new_ppa)
         return t
 
     # --- Retained-version compression (Algorithm 1, lines 19-25) --------------
@@ -146,7 +146,7 @@ class TimeSSDGarbageCollector:
         if compressing:
             ref_data, ref_ts, t = self._read_reference(lpa, t)
         else:
-            ref_data, ref_ts = None, NULL_PPA
+            ref_data, ref_ts = None, NO_REF_TS
 
         previous_head = index.prune_dropped_head(lpa)
         records = []
@@ -247,6 +247,6 @@ class TimeSSDGarbageCollector:
         ssd = self._ssd
         head_ppa = ssd.mapping.lookup(lpa)
         if head_ppa == NULL_PPA:
-            return None, NULL_PPA, now_us
+            return None, NO_REF_TS, now_us
         result = ssd.device.read_page(head_ppa, now_us)
         return result.data, result.oob.timestamp_us, result.complete_us

@@ -18,6 +18,7 @@ been compressed (or has expired) so GC can discard them without reading.
 
 from dataclasses import dataclass
 
+from repro.common.units import BlockId, Lba, Ppa, TimeUs
 from repro.flash.page import NULL_PPA, PageState
 
 
@@ -53,17 +54,17 @@ class TimeTravelIndex:
 
     # --- PRT ----------------------------------------------------------------
 
-    def mark_reclaimable(self, ppa):
+    def mark_reclaimable(self, ppa: Ppa):
         """Mark an invalid page reclaimable; True if newly marked."""
         if ppa in self._reclaimable:
             return False
         self._reclaimable.add(ppa)
         return True
 
-    def is_reclaimable(self, ppa):
+    def is_reclaimable(self, ppa: Ppa):
         return ppa in self._reclaimable
 
-    def clear_block(self, pba):
+    def clear_block(self, pba: BlockId):
         """Forget PRT bits of an erased block."""
         for ppa in self._geo.pages_of_block(pba):
             self._reclaimable.discard(ppa)
@@ -73,10 +74,10 @@ class TimeTravelIndex:
 
     # --- IMT ----------------------------------------------------------------
 
-    def delta_head(self, lpa):
+    def delta_head(self, lpa: Lba):
         return self._imt.get(lpa)
 
-    def set_delta_head(self, lpa, record):
+    def set_delta_head(self, lpa: Lba, record):
         if record is None:
             self._imt.pop(lpa, None)
         else:
@@ -103,7 +104,7 @@ class TimeTravelIndex:
             return False  # torn/burned residue: never part of a chain
         return page.oob.lpa == lpa and page.oob.timestamp_us < newer_ts
 
-    def walk_data_chain(self, lpa, head_ppa, now_us, include_head=True, until_ts=None):
+    def walk_data_chain(self, lpa: Lba, head_ppa: Ppa, now_us: TimeUs, include_head=True, until_ts=None):
         """Follow back-pointers from ``head_ppa``; returns a ChainWalk.
 
         Entries are ``(ppa, oob, data)`` newest first.  Each hop costs a
@@ -145,7 +146,7 @@ class TimeTravelIndex:
 
     # --- Delta chain ------------------------------------------------------------
 
-    def walk_delta_chain(self, lpa, now_us, until_ts=None):
+    def walk_delta_chain(self, lpa: Lba, now_us: TimeUs, until_ts=None):
         """Follow the delta chain from the IMT head; returns a ChainWalk.
 
         Entries are live :class:`DeltaRecord` objects, newest first.
@@ -171,7 +172,7 @@ class TimeTravelIndex:
             record = record.back
         return ChainWalk(entries, t)
 
-    def prune_dropped_head(self, lpa):
+    def prune_dropped_head(self, lpa: Lba):
         """Drop IMT heads whose records died with their bloom segment."""
         record = self._imt.get(lpa)
         while record is not None and record.dropped:

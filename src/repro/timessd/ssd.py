@@ -17,7 +17,7 @@ from repro.common.errors import (
     ReproError,
     RetentionViolationError,
 )
-from repro.common.units import format_duration
+from repro.common.units import Lba, Ppa, TimeUs, format_duration
 from repro.flash.page import NULL_PPA, PageState
 from repro.ftl.block_manager import BlockKind
 from repro.ftl.ssd import BaseSSD
@@ -127,7 +127,7 @@ class TimeSSD(BaseSSD):
             )
         return super()._program_user_page(lpa, data, now_us)
 
-    def note_page_no_longer_retained(self, ppa):
+    def note_page_no_longer_retained(self, ppa: Ppa):
         """A retained page expired or was compressed into the delta chain."""
         pba = self.device.geometry.block_of_page(ppa)
         if self._retained_per_block[pba] > 0:
@@ -250,7 +250,7 @@ class TimeSSD(BaseSSD):
                 )
         return segment
 
-    def erase_delta_block(self, pba, now_us):
+    def erase_delta_block(self, pba, now_us: TimeUs):
         """Erase an expired delta block (no migration, Algorithm 1 line 3)."""
         try:
             self.device.erase_block(pba, now_us)
@@ -366,7 +366,7 @@ class TimeSSD(BaseSSD):
 
     # --- Version retrieval (the substrate TimeKits queries ride on) -------------
 
-    def version_chain(self, lpa, start_us=None, until_ts=None):
+    def version_chain(self, lpa: Lba, start_us: TimeUs = None, until_ts=None):
         """All retrievable versions of ``lpa``, newest first.
 
         Returns ``(versions, complete_us)`` where ``versions`` includes

@@ -7,6 +7,24 @@ import pytest
 from repro.analysis.core import analyze_paths, rules_by_id
 
 
+def _write_tree(root, files):
+    """Materialise ``{dotted.module.name: source}`` as a package tree."""
+    root.mkdir(exist_ok=True)
+    for module_name, source in files.items():
+        parts = module_name.split(".")
+        directory = root
+        for part in parts[:-1]:
+            directory = directory / part
+            directory.mkdir(exist_ok=True)
+            init = directory / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+        (directory / (parts[-1] + ".py")).write_text(
+            textwrap.dedent(source)
+        )
+    return root
+
+
 @pytest.fixture
 def lint(tmp_path):
     """Lint one snippet as a standalone (package-less) file.
@@ -34,24 +52,21 @@ def lint_package(tmp_path):
     """
 
     def run(files, rules=None):
-        root = tmp_path / "pkg"
-        root.mkdir(exist_ok=True)
-        for module_name, source in files.items():
-            parts = module_name.split(".")
-            directory = root
-            for part in parts[:-1]:
-                directory = directory / part
-                directory.mkdir(exist_ok=True)
-                init = directory / "__init__.py"
-                if not init.exists():
-                    init.write_text("")
-            (directory / (parts[-1] + ".py")).write_text(
-                textwrap.dedent(source)
-            )
+        root = _write_tree(tmp_path / "pkg", files)
         chosen = rules_by_id(rules) if rules else None
         return analyze_paths([str(root)], chosen)
 
     return run
+
+
+@pytest.fixture
+def package_tree(tmp_path):
+    """Write a synthetic package tree and return its root path (str)."""
+
+    def build(files):
+        return str(_write_tree(tmp_path / "pkg", files))
+
+    return build
 
 
 def rule_ids(violations):

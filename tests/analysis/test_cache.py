@@ -1,0 +1,97 @@
+"""The two-tier on-disk result cache."""
+
+import os
+
+from repro.analysis.cache import ResultCache
+from repro.analysis.core import SourceModule, Violation
+
+
+def _module(tmp_path, name="m.py", source="x = 1\n"):
+    path = tmp_path / name
+    path.write_text(source)
+    return SourceModule.from_path(str(path))
+
+
+def _violation(path):
+    return Violation(
+        rule_id="hygiene-print", path=path, line=1, col=1, message="boom"
+    )
+
+
+def test_shallow_round_trip_survives_save(tmp_path):
+    module = _module(tmp_path)
+    cache = ResultCache(str(tmp_path / "cache"), ["hygiene-print"])
+    assert cache.lookup_file(module) is None
+    cache.store_file(module, [_violation(module.path)], {(1, "*")})
+    cache.save()
+
+    fresh = ResultCache(str(tmp_path / "cache"), ["hygiene-print"])
+    violations, used = fresh.lookup_file(module)
+    assert [v.rule_id for v in violations] == ["hygiene-print"]
+    assert used == {(1, "*")}
+
+
+def test_changed_source_misses(tmp_path):
+    module = _module(tmp_path)
+    cache = ResultCache(str(tmp_path / "cache"), ["hygiene-print"])
+    cache.store_file(module, [], set())
+    edited = _module(tmp_path, source="x = 2\n")
+    assert cache.lookup_file(edited) is None
+
+
+def test_rule_selection_changes_signature(tmp_path):
+    module = _module(tmp_path)
+    cache = ResultCache(str(tmp_path / "cache"), ["hygiene-print"])
+    cache.store_file(module, [], set())
+    cache.save()
+    other = ResultCache(
+        str(tmp_path / "cache"), ["hygiene-print", "determinism-wallclock"]
+    )
+    assert other.signature != cache.signature
+    assert other.lookup_file(module) is None
+
+
+def test_deep_tier_keys_on_whole_tree(tmp_path):
+    a = _module(tmp_path, "a.py", "x = 1\n")
+    b = _module(tmp_path, "b.py", "y = 2\n")
+    cache = ResultCache(str(tmp_path / "cache"), ["effects-recovery-rng"])
+    cache.store_deep([a, b], [_violation(a.path)], {a.path: {(3, "*")}})
+    cache.save()
+
+    fresh = ResultCache(str(tmp_path / "cache"), ["effects-recovery-rng"])
+    violations, used = fresh.lookup_deep([a, b])
+    assert [v.path for v in violations] == [a.path]
+    assert used == {a.path: {(3, "*")}}
+    # Any edit anywhere invalidates the deep entry.
+    edited = _module(tmp_path, "b.py", "y = 3\n")
+    assert fresh.lookup_deep([a, edited]) is None
+
+
+def test_save_evicts_entries_not_touched_this_run(tmp_path):
+    stale = _module(tmp_path, "stale.py", "s = 0\n")
+    kept = _module(tmp_path, "kept.py", "k = 0\n")
+    cache = ResultCache(str(tmp_path / "cache"), ["hygiene-print"])
+    cache.store_file(stale, [], set())
+    cache.store_file(kept, [], set())
+    cache.save()
+
+    second = ResultCache(str(tmp_path / "cache"), ["hygiene-print"])
+    assert second.lookup_file(kept) is not None
+    second.store_file(kept, [], set())
+    second.save()
+
+    third = ResultCache(str(tmp_path / "cache"), ["hygiene-print"])
+    assert third.lookup_file(stale) is None
+    assert third.lookup_file(kept) is not None
+
+
+def test_corrupt_cache_files_are_ignored(tmp_path):
+    module = _module(tmp_path)
+    directory = tmp_path / "cache"
+    cache = ResultCache(str(directory), ["hygiene-print"])
+    cache.store_file(module, [_violation(module.path)], set())
+    cache.save()
+    for name in os.listdir(str(directory)):
+        (directory / name).write_text("{not json")
+    fresh = ResultCache(str(directory), ["hygiene-print"])
+    assert fresh.lookup_file(module) is None

@@ -14,9 +14,16 @@ from tests.analysis.conftest import rule_ids
 VIOLATING = "import time\nt0 = time.time()\n"
 
 
-def test_registry_has_all_three_packs():
+def test_registry_has_all_packs():
     packs = {rule.pack for rule in all_rules()}
-    assert packs == {"determinism", "layering", "hygiene"}
+    assert packs == {
+        "determinism",
+        "layering",
+        "hygiene",
+        "callgraph",
+        "effects",
+        "domains",
+    }
     ids = [rule.rule_id for rule in all_rules()]
     assert len(ids) == len(set(ids))
     for rule in all_rules():

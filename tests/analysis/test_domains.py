@@ -1,0 +1,130 @@
+"""Address-domain dataflow: seeded cross-domain violations."""
+
+from tests.analysis.conftest import rule_ids
+
+
+def test_cross_assign_lba_from_ppa(lint_package):
+    violations = lint_package(
+        {
+            "repro.ftl.mapping": """
+                def remap(lpa, ppa):
+                    lpa = ppa
+                    return lpa
+            """,
+        },
+        rules=["domains-cross-assign"],
+    )
+    assert rule_ids(violations) == ["domains-cross-assign"]
+    assert violations[0].line == 3
+
+
+def test_same_domain_assign_is_clean(lint_package):
+    violations = lint_package(
+        {
+            "repro.ftl.mapping": """
+                def remap(ppa, new_ppa):
+                    ppa = new_ppa
+                    return ppa
+            """,
+        },
+        rules=["domains-cross-assign"],
+    )
+    assert violations == []
+
+
+def test_cross_compare_time_vs_ppa(lint_package):
+    violations = lint_package(
+        {
+            "repro.timessd.walk": """
+                def expired(ppa, deadline):
+                    return ppa > deadline
+            """,
+        },
+        rules=["domains-cross-compare"],
+    )
+    assert rule_ids(violations) == ["domains-cross-compare"]
+
+
+def test_count_offsets_do_not_mix(lint_package):
+    violations = lint_package(
+        {
+            "repro.flash.span": """
+                def advance(lpa, npages):
+                    return lpa + npages
+            """,
+        },
+        rules=["domains-cross-compare"],
+    )
+    assert violations == []
+
+
+def test_cross_arg_against_name_seeded_param(lint_package):
+    violations = lint_package(
+        {
+            "repro.ftl.gc": """
+                def _mark(ppa):
+                    return ppa
+
+
+                def sweep(lpa):
+                    return _mark(lpa)
+            """,
+        },
+        rules=["domains-cross-arg"],
+    )
+    assert rule_ids(violations) == ["domains-cross-arg"]
+
+
+def test_cross_arg_against_newtype_annotation(lint_package):
+    violations = lint_package(
+        {
+            "repro.flash.geom": """
+                from repro.common.units import Ppa
+
+
+                def check(ppa: Ppa):
+                    return ppa
+
+
+                def probe(t_us):
+                    return check(t_us)
+            """,
+        },
+        rules=["domains-cross-arg"],
+    )
+    assert rule_ids(violations) == ["domains-cross-arg"]
+
+
+def test_annotation_seeds_local_flow(lint_package):
+    violations = lint_package(
+        {
+            "repro.flash.geom": """
+                from repro.common.units import TimeUs
+
+
+                def shift(lpa, stamp: TimeUs):
+                    lpa = stamp
+                    return lpa
+            """,
+        },
+        rules=["domains-cross-assign"],
+    )
+    assert rule_ids(violations) == ["domains-cross-assign"]
+
+
+def test_branch_merge_forgets_disagreeing_domains(lint_package):
+    violations = lint_package(
+        {
+            "repro.ftl.pick": """
+                def pick(flag, ppa, deadline):
+                    if flag:
+                        x = ppa
+                    else:
+                        x = deadline
+                    y = x
+                    return y
+            """,
+        },
+        rules=["domains-cross-assign"],
+    )
+    assert violations == []

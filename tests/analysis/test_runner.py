@@ -65,8 +65,16 @@ def test_unknown_rule_is_usage_error(tmp_path, capsys):
 def test_list_rules_shows_every_pack(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for pack in ("determinism", "layering", "hygiene"):
+    for pack in (
+        "determinism",
+        "layering",
+        "hygiene",
+        "callgraph",
+        "effects",
+        "domains",
+    ):
         assert pack in out
+    assert "[deep]" in out
 
 
 def test_repro_lint_subcommand(tmp_path, capsys):
@@ -78,6 +86,93 @@ def test_repro_lint_subcommand(tmp_path, capsys):
     assert "determinism-wallclock" in capsys.readouterr().out
 
 
+def test_sarif_format_parses_with_rule_metadata(tmp_path, capsys):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    assert lint_main([str(path), "--format", "sarif"]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    results = run["results"]
+    assert results[0]["ruleId"] == "determinism-wallclock"
+    region = results[0]["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 5
+    declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert "determinism-wallclock" in declared
+
+
+def test_sarif_clean_run_has_empty_results(tmp_path, capsys):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    assert lint_main([str(path), "--format", "sarif"]) == 0
+    assert json.loads(capsys.readouterr().out)["runs"][0]["results"] == []
+
+
+def test_select_and_ignore_filter_rules(tmp_path, capsys):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    assert (
+        lint_main(
+            [
+                str(path),
+                "--select",
+                "determinism",
+                "--ignore",
+                "determinism-wallclock",
+            ]
+        )
+        == 0
+    )
+    assert "clean" in capsys.readouterr().out
+
+
+def test_ignore_drops_whole_pack(tmp_path, capsys):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    assert lint_main([str(path), "--ignore", "determinism"]) == 0
+    capsys.readouterr()
+
+
+def test_deep_flag_runs_whole_program_passes(tmp_path, capsys):
+    pkg = tmp_path / "repro" / "ftl"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mapping.py").write_text("def f(lpa, ppa):\n    lpa = ppa\n")
+    assert lint_main([str(tmp_path / "repro"), "--no-cache"]) == 0
+    capsys.readouterr()
+    assert lint_main([str(tmp_path / "repro"), "--deep", "--no-cache"]) == 1
+    assert "domains-cross-assign" in capsys.readouterr().out
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path, capsys):
+    path = tmp_path / "broken.py"
+    path.write_text("def broken(:\n    pass\n")
+    assert lint_main([str(path), "--deep", "--no-cache"]) == 1
+    out = capsys.readouterr().out
+    assert "[parse-error]" in out
+
+
+def test_undecodable_file_is_reported_not_raised(tmp_path, capsys):
+    path = tmp_path / "binary.py"
+    path.write_bytes(b"\xff\xfe\x00junk\x80\x81")
+    assert lint_main([str(path), "--deep", "--no-cache"]) == 1
+    out = capsys.readouterr().out
+    assert "[parse-error]" in out
+
+
+def test_cache_round_trip_matches_cold_run(tmp_path, capsys):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    cache_dir = str(tmp_path / "cache")
+    assert lint_main([str(path), "--cache-dir", cache_dir]) == 1
+    cold = capsys.readouterr().out
+    assert os.listdir(cache_dir)
+    assert lint_main([str(path), "--cache-dir", cache_dir]) == 1
+    assert capsys.readouterr().out == cold
+
+
 def test_whole_tree_is_clean():
-    # The acceptance gate: the shipped tree has zero violations.
+    # The acceptance gate: the shipped tree has zero violations,
+    # including the whole-program passes (rules=None selects them all).
     assert analyze_paths([SRC_REPRO]) == []

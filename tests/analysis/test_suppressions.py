@@ -1,0 +1,75 @@
+"""The unused-suppression rule and tokenizer-based marker parsing."""
+
+from repro.analysis.core import UNUSED_SUPPRESSION_RULE
+
+from tests.analysis.conftest import rule_ids
+
+DIRTY_LINE = "import time\nt0 = time.time()"
+
+
+def test_unused_id_suppression_is_reported(lint):
+    source = "X = 1  # almanac: ignore[determinism-wallclock]\n"
+    violations = lint(source)
+    assert rule_ids(violations) == [UNUSED_SUPPRESSION_RULE]
+    assert violations[0].line == 1
+    assert "determinism-wallclock" in violations[0].message
+
+
+def test_used_suppression_is_not_reported(lint):
+    source = DIRTY_LINE + "  # almanac: ignore[determinism-wallclock]\n"
+    assert lint(source) == []
+
+
+def test_unused_blanket_suppression_reported_on_full_run(lint):
+    source = "X = 1  # almanac: ignore\n"
+    violations = lint(source)
+    assert rule_ids(violations) == [UNUSED_SUPPRESSION_RULE]
+
+
+def test_blanket_not_judged_under_partial_selection(lint):
+    # A narrowed --select cannot prove a blanket ignore useless: some
+    # unselected rule may be the one it suppresses.
+    source = "X = 1  # almanac: ignore\n"
+    violations = lint(
+        source, rules=[UNUSED_SUPPRESSION_RULE, "determinism-wallclock"]
+    )
+    assert violations == []
+
+
+def test_unused_id_still_reported_under_partial_selection(lint):
+    source = "X = 1  # almanac: ignore[determinism-wallclock]\n"
+    violations = lint(
+        source, rules=[UNUSED_SUPPRESSION_RULE, "determinism-wallclock"]
+    )
+    assert rule_ids(violations) == [UNUSED_SUPPRESSION_RULE]
+
+
+def test_unselected_id_is_not_judged(lint):
+    # determinism-wallclock is not in the selection, so the suppression
+    # naming it cannot be proven dead.
+    source = "X = 1  # almanac: ignore[determinism-wallclock]\n"
+    violations = lint(
+        source, rules=[UNUSED_SUPPRESSION_RULE, "hygiene-print"]
+    )
+    assert violations == []
+
+
+def test_docstring_mention_is_not_a_suppression(lint):
+    source = (
+        '"""Docs may say # almanac: ignore[determinism-wallclock] freely."""\n'
+        + DIRTY_LINE
+        + "\n"
+    )
+    violations = lint(source)
+    assert rule_ids(violations) == ["determinism-wallclock"]
+
+
+def test_one_used_one_unused_on_same_line(lint):
+    source = (
+        DIRTY_LINE
+        + "  # almanac: ignore[determinism-wallclock, hygiene-print]\n"
+    )
+    violations = lint(source)
+    assert rule_ids(violations) == [UNUSED_SUPPRESSION_RULE]
+    assert "hygiene-print" in violations[0].message
+    assert "determinism-wallclock" not in violations[0].message

@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.errors import QueryError
 from repro.common.units import SECOND_US
-from repro.timekits.api import QueryResult, TimeKits, _pick_as_of
+from repro.timekits.api import QueryResult, TimeKits, pick_as_of
 from repro.timessd.index import Version
 
 from tests.conftest import make_regular_ssd, make_timessd
@@ -30,12 +30,12 @@ def test_requires_timessd():
         TimeKits(make_regular_ssd())
 
 
-def test_pick_as_of_picks_newest_at_or_before():
+def testpick_as_of_picks_newest_at_or_before():
     versions = [Version(0, ts, None, "x") for ts in (30, 20, 10)]
-    assert _pick_as_of(versions, 25).timestamp_us == 20
-    assert _pick_as_of(versions, 30).timestamp_us == 30
-    assert _pick_as_of(versions, 5).timestamp_us == 10  # oldest fallback
-    assert _pick_as_of([], 5) is None
+    assert pick_as_of(versions, 25).timestamp_us == 20
+    assert pick_as_of(versions, 30).timestamp_us == 30
+    assert pick_as_of(versions, 5).timestamp_us == 10  # oldest fallback
+    assert pick_as_of([], 5) is None
 
 
 class TestAddrQueries:
