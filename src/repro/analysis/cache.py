@@ -91,6 +91,11 @@ class ResultCache:
         self._live_shallow = set()
         self._dirty = False
         self._file_sha = {}
+        #: Hit/miss tallies for ``repro lint --stats``.
+        self.shallow_hits = 0
+        self.shallow_misses = 0
+        self.deep_hits = 0
+        self.deep_misses = 0
 
     # -- keys -----------------------------------------------------------------
 
@@ -118,7 +123,9 @@ class ResultCache:
     def lookup_file(self, module):
         entry = self._shallow.get(self.file_sha(module))
         if entry is None:
+            self.shallow_misses += 1
             return None
+        self.shallow_hits += 1
         self._live_shallow.add(self.file_sha(module))
         violations = [_violation_from_dict(v) for v in entry["violations"]]
         used = {(line, name) for line, name in entry["used"]}
@@ -138,7 +145,9 @@ class ResultCache:
     def lookup_deep(self, modules):
         entry = self._deep.get(self.tree_sha(modules))
         if entry is None:
+            self.deep_misses += 1
             return None
+        self.deep_hits += 1
         violations = [_violation_from_dict(v) for v in entry["violations"]]
         used = {
             path: {(line, name) for line, name in entries}

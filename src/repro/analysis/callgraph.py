@@ -575,8 +575,20 @@ class CallGraph:
         if isinstance(receiver, ast.Attribute):
             chain = dotted(receiver)
             if chain is not None:
-                if chain[0] == "self" and func.is_method and len(chain) == 2:
-                    types = self.attr_types_for(func.class_qualname, chain[1])
+                if chain[0] == "self" and func.is_method:
+                    # Walk self.a.b... through the inferred attribute
+                    # types layer by layer (self.device -> FlashDevice,
+                    # .counters -> OpCounters), so chained receivers
+                    # resolve confidently instead of falling back to
+                    # name guessing.
+                    types = {func.class_qualname}
+                    for attr in chain[1:]:
+                        step = set()
+                        for cls_qual in types:
+                            step.update(self.attr_types_for(cls_qual, attr))
+                        types = step
+                        if not types:
+                            break
                     if types:
                         return types
                 found = self.resolve_symbol(func.module.module, chain)

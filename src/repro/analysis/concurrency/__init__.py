@@ -1,0 +1,35 @@
+"""Concurrency-preflight tier: the machine-checked interleaving contract.
+
+ROADMAP item 1 replaces the synchronous request path with a
+discrete-event scheduler that interleaves foreground serving with
+background GC, delta compression and bloom expiration.  Every FTL
+invariant today is maintained by straight-line code nothing can
+interrupt; this subpackage makes that assumption explicit *before* the
+refactor introduces yield points:
+
+:mod:`repro.analysis.concurrency.model`
+    The task-root taxonomy (which functions become schedulable tasks),
+    the shared-state owner conventions, and the declared interleaving
+    policies.
+:mod:`repro.analysis.concurrency.atomicity`
+    Detection of ``@atomic_section`` annotations plus the atomicity
+    rules: flash mutations must sit inside a section, sections must not
+    re-enter a competing task root, must not yield, and must follow
+    mutations-last discipline unless they declare ``restores_state``.
+:mod:`repro.analysis.concurrency.shared_state`
+    The shared-mutable-state inventory: which task roots read and write
+    each ``self.attr``/module global, joined against the policy table.
+:mod:`repro.analysis.concurrency.report`
+    The deterministic ``docs/interleaving-contract.md`` emitter.
+
+Everything here is pure ``ast`` over the PR 5 call graph and effect
+analysis; analyzed code is never imported.
+"""
+
+from repro.analysis.concurrency.model import (
+    SCHEDULABLE_CATEGORIES,
+    TASK_ROOTS,
+    TaskRoot,
+)
+
+__all__ = ["TASK_ROOTS", "TaskRoot", "SCHEDULABLE_CATEGORIES"]

@@ -2,6 +2,7 @@
 
 from repro.analysis.rules import (  # noqa: F401  (import-for-effect)
     address_domains,
+    concurrency,
     determinism,
     hygiene,
     layering,

@@ -76,6 +76,22 @@ def build_parser():
         "(implies building the call graph)",
     )
     parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule finding counts and cache hit/miss rates "
+        "to stderr after the run",
+    )
+    parser.add_argument(
+        "--emit-interleaving",
+        nargs="?",
+        const="docs/interleaving-contract.md",
+        default=None,
+        metavar="PATH",
+        help="write the interleaving contract (task roots, atomic "
+        "sections, shared-state inventory) to PATH (default: "
+        "docs/interleaving-contract.md)",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help="cache directory (default: .almanac-cache)",
@@ -132,6 +148,41 @@ def _print_unresolved(paths):
         print("  %s" % entry, file=sys.stderr)
 
 
+def _emit_interleaving(paths, out_path):
+    from repro.analysis.concurrency.report import render_report
+
+    modules = [SourceModule.from_path(p) for p in collect_files(paths)]
+    text = render_report(Project(modules))
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print("wrote %s" % out_path, file=sys.stderr)
+
+
+def _print_stats(violations, rules, cache):
+    counts = {}
+    for violation in violations:
+        counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+    print("findings by rule:", file=sys.stderr)
+    if not counts:
+        print("  (none)", file=sys.stderr)
+    for rule_id in sorted(counts):
+        print("  %-36s %d" % (rule_id, counts[rule_id]), file=sys.stderr)
+    print("rules run: %d" % len(rules), file=sys.stderr)
+    if cache is None:
+        print("cache: disabled", file=sys.stderr)
+        return
+    for tier, hits, misses in (
+        ("shallow", cache.shallow_hits, cache.shallow_misses),
+        ("deep", cache.deep_hits, cache.deep_misses),
+    ):
+        total = hits + misses
+        rate = " (%.0f%% hit)" % (100.0 * hits / total) if total else ""
+        print(
+            "cache %s: %d hit / %d miss%s" % (tier, hits, misses, rate),
+            file=sys.stderr,
+        )
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     if args.list_rules:
@@ -147,15 +198,18 @@ def main(argv=None):
     except KeyError as exc:
         print("error: %s" % exc.args[0], file=sys.stderr)
         return 2
+    cache = _make_cache(args, rules)
     try:
-        violations = analyze_paths(
-            args.paths, rules, cache=_make_cache(args, rules)
-        )
+        violations = analyze_paths(args.paths, rules, cache=cache)
         if args.show_unresolved:
             _print_unresolved(args.paths)
-    except FileNotFoundError as exc:
+        if args.emit_interleaving:
+            _emit_interleaving(args.paths, args.emit_interleaving)
+    except (FileNotFoundError, IsADirectoryError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    if args.stats:
+        _print_stats(violations, rules, cache)
     if args.format == "json":
         print(format_json(violations))
     elif args.format == "sarif":

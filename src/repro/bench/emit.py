@@ -1,10 +1,14 @@
-"""Machine-readable metrics snapshots: BENCH_pr4.json and the CLI demo.
+"""Machine-readable metrics snapshots: BENCH_pr6.json and the CLI demo.
 
 The bench smoke workload replays the same seeded churn on both devices
 and serializes their :meth:`~repro.ftl.ssd.BaseSSD.metrics_snapshot`
-output.  Everything is derived from sim time and an explicit seed, so
-two runs of the same seed produce byte-identical JSON — the perf
-trajectory can diff files across commits, not just eyeball numbers.
+output.  The simulation payload is derived from sim time and an
+explicit seed, so two runs of the same seed produce an identical
+``devices`` tree — the perf trajectory can diff files across commits,
+not just eyeball numbers.  One deliberately non-deterministic section,
+``harness``, records the wall-clock throughput of the run so CI can
+catch large simulator slowdowns; :func:`check_bench_snapshot` compares
+everything *except* that section byte-for-byte.
 """
 
 import json
@@ -20,7 +24,11 @@ from repro.timessd.ssd import TimeSSD
 #: Schema tag: bump only when the JSON layout changes incompatibly.
 SCHEMA = "almanac-metrics/1"
 
-BENCH_FILE = "BENCH_pr4.json"
+BENCH_FILE = "BENCH_pr6.json"
+
+#: A fresh run slower than this fraction of the committed ops/sec fails
+#: ``check_bench_snapshot`` (>20% regression, per-run jitter allowed).
+MIN_OPS_RATIO = 0.8
 
 
 def churn(ssd, writes, seed, working_fraction=0.5, gap_us=1500):
@@ -120,15 +128,82 @@ def bench_smoke_snapshots(seed=1, writes=1500):
     }
 
 
+def _timed_smoke(seed, writes):
+    """Run the smoke workload under a wall clock; returns (result, harness).
+
+    The harness section is the one place the bench layer reads real
+    time: it measures how fast the *simulator* runs, which sim time by
+    construction cannot see.  It never feeds back into the simulation.
+    """
+    import time
+
+    t0 = time.perf_counter()  # almanac: ignore[determinism-wallclock]
+    result = bench_smoke_snapshots(seed=seed, writes=writes)
+    elapsed = time.perf_counter() - t0  # almanac: ignore[determinism-wallclock]
+    ops = 2 * writes  # churn phase ops, both devices
+    harness = {
+        "elapsed_s": round(elapsed, 3),
+        "ops_per_sec": round(ops / elapsed, 1) if elapsed > 0 else 0.0,
+    }
+    return result, harness
+
+
+def deterministic_payload(result):
+    """The snapshot minus its wall-clock section (the comparable part)."""
+    return {k: v for k, v in result.items() if k != "harness"}
+
+
 def to_canonical_json(result, indent=2):
     """Stable rendering: sorted keys, fixed separators, trailing newline."""
     return json.dumps(result, sort_keys=True, indent=indent) + "\n"
 
 
 def write_bench_json(path=None, seed=1, writes=1500):
-    """Emit ``BENCH_pr4.json``; returns the path written."""
+    """Emit ``BENCH_pr6.json``; returns the path written."""
     path = path or BENCH_FILE
-    result = bench_smoke_snapshots(seed=seed, writes=writes)
+    result, harness = _timed_smoke(seed, writes)
+    result["harness"] = harness
     with open(path, "w") as fh:
         fh.write(to_canonical_json(result))
     return path
+
+
+def check_bench_snapshot(path=None, seed=1, writes=1500, min_ratio=MIN_OPS_RATIO):
+    """Regenerate the snapshot and diff it against the committed file.
+
+    Returns a list of problem strings; empty means the committed file is
+    current.  Three checks: the schema tag matches, the deterministic
+    payload is identical (any simulator behaviour change must re-commit
+    the snapshot), and the fresh run's ops/sec has not regressed below
+    ``min_ratio`` of the committed figure.
+    """
+    path = path or BENCH_FILE
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            committed = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return ["cannot read committed snapshot %s: %s" % (path, exc)]
+    problems = []
+    if committed.get("schema") != SCHEMA:
+        problems.append(
+            "schema mismatch: committed %r, analyzer expects %r"
+            % (committed.get("schema"), SCHEMA)
+        )
+        return problems
+    fresh, harness = _timed_smoke(seed, writes)
+    # Round-trip the fresh result through JSON so tuples compare equal
+    # to the lists json.load hands back for the committed file.
+    fresh = json.loads(to_canonical_json(fresh))
+    if deterministic_payload(committed) != deterministic_payload(fresh):
+        problems.append(
+            "deterministic payload drifted from %s: simulator behaviour "
+            "changed; regenerate with `repro metrics --bench`" % path
+        )
+    committed_ops = (committed.get("harness") or {}).get("ops_per_sec")
+    if committed_ops and harness["ops_per_sec"] < min_ratio * committed_ops:
+        problems.append(
+            "throughput regression: fresh %.1f ops/s < %.0f%% of "
+            "committed %.1f ops/s"
+            % (harness["ops_per_sec"], 100 * min_ratio, committed_ops)
+        )
+    return problems

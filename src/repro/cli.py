@@ -248,16 +248,28 @@ def _cmd_lint(args):
         argv += ["--cache-dir", args.cache_dir]
     if args.no_cache:
         argv += ["--no-cache"]
+    if args.stats:
+        argv += ["--stats"]
+    if args.emit_interleaving:
+        argv += ["--emit-interleaving", args.emit_interleaving]
     return lint_main(argv)
 
 
 def _cmd_metrics(args):
     from repro.bench import emit
 
+    if args.bench and args.check:
+        problems = emit.check_bench_snapshot(path=args.out)
+        for problem in problems:
+            print("bench check: %s" % problem)
+        if not problems:
+            print("bench check: %s is current" % (args.out or emit.BENCH_FILE))
+        return 1 if problems else 0
     if args.bench:
-        path = emit.write_bench_json(
-            path=args.out, seed=args.seed, writes=args.writes
-        )
+        # The committed snapshot is always the canonical workload
+        # (write_bench_json's defaults); --writes/--seed only shape the
+        # demo, else a stray flag would make CI's regeneration drift.
+        path = emit.write_bench_json(path=args.out)
         print("wrote %s" % path)
         return 0
     result = emit.demo_snapshot(
@@ -347,6 +359,19 @@ def build_parser():
     lint.add_argument("--show-unresolved", action="store_true")
     lint.add_argument("--cache-dir", default=None)
     lint.add_argument("--no-cache", action="store_true")
+    lint.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule finding counts and cache hit/miss rates",
+    )
+    lint.add_argument(
+        "--emit-interleaving",
+        nargs="?",
+        const="docs/interleaving-contract.md",
+        default=None,
+        metavar="PATH",
+        help="write the interleaving contract report",
+    )
     lint.set_defaults(fn=_cmd_lint)
 
     torture = sub.add_parser(
@@ -382,7 +407,13 @@ def build_parser():
         "--bench",
         action="store_true",
         help="run the bench smoke workload on both devices and write %s"
-        % "BENCH_pr4.json",
+        % "BENCH_pr6.json",
+    )
+    metrics.add_argument(
+        "--check",
+        action="store_true",
+        help="with --bench: verify the committed snapshot instead of "
+        "rewriting it (schema, deterministic payload, ops/sec floor)",
     )
     metrics.add_argument(
         "--device", choices=("regular", "timessd"), default="timessd"

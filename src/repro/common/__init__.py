@@ -5,6 +5,7 @@ Everything in the simulator that needs a notion of time uses a
 experiments are deterministic and independent of wall-clock speed.
 """
 
+from repro.common.atomic import atomic_section
 from repro.common.clock import SimClock
 from repro.common.errors import (
     AddressError,
@@ -29,6 +30,7 @@ from repro.common.units import (
 
 __all__ = [
     "SimClock",
+    "atomic_section",
     "ReproError",
     "AddressError",
     "DeviceFullError",

@@ -1,0 +1,51 @@
+"""Atomic-section annotations for the interleaving contract.
+
+The simulator is synchronous today, but ROADMAP item 1 rebuilds the
+request path around a discrete-event scheduler with interleaved
+background tasks (GC, delta compression, bloom expiration).  Every
+multi-step invariant-restoring sequence — program page, tag OOB, update
+the mapping, insert into the index — is only correct because nothing can
+interrupt it.  :func:`atomic_section` makes that assumption *explicit*:
+the decorated function is one atomic step with respect to task
+interleaving, and the static concurrency passes
+(:mod:`repro.analysis.concurrency`) verify that
+
+* every flash-mutating call site sits inside some atomic section,
+* no call out of a section can re-enter a competing task root, and
+* no ``await``/scheduler yield ever appears inside one.
+
+The decorator is metadata only: it stores the annotation on the function
+object and returns the function unchanged — zero wrappers, zero per-call
+cost.  The analyzer reads the decoration from the AST (it never imports
+this module at lint time).
+"""
+
+#: Attribute set on decorated functions (read by tests and tooling; the
+#: static analyzer matches the decorator syntactically instead).
+ATOMIC_ATTR = "__atomic_section__"
+
+
+def atomic_section(reason, restores_state=False):
+    """Mark a function as one atomic step of the interleaving contract.
+
+    ``reason`` names the invariant the section maintains (it is printed
+    in ``docs/interleaving-contract.md``).  ``restores_state=True``
+    waives the mutations-last discipline for sections that may raise
+    partway through *because* they explicitly restore a consistent state
+    before the exception escapes — the justification belongs in
+    ``reason``.
+    """
+    if not isinstance(reason, str) or not reason.strip():
+        raise ValueError("atomic_section requires a non-empty reason string")
+    if not isinstance(restores_state, bool):
+        raise ValueError("restores_state must be a bool")
+
+    def mark(fn):
+        setattr(
+            fn,
+            ATOMIC_ATTR,
+            {"reason": reason, "restores_state": restores_state},
+        )
+        return fn
+
+    return mark

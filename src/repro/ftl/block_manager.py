@@ -9,6 +9,7 @@ round-robin across channels so sequential allocation stripes the device.
 import enum
 from collections import deque
 
+from repro.common.atomic import atomic_section
 from repro.common.errors import AddressError, DeviceFullError
 from repro.common.units import BlockId, Ppa, TimeUs
 
@@ -89,6 +90,12 @@ class BlockManager:
                 return self._free[channel].popleft()
         raise DeviceFullError("free count out of sync with pools")
 
+    @atomic_section(
+        "clearing validity, forgetting the append point and returning "
+        "the block to the free pool (or retiring it) must be one step: "
+        "in between, the block belongs to nobody (valid-page guard "
+        "raises before any mutation)"
+    )
     def release_block(self, pba: BlockId):
         """Return an erased block to the free pool — or retire it.
 
@@ -99,6 +106,9 @@ class BlockManager:
         info = self._info[pba]
         if info.valid_count:
             raise AddressError("releasing block %d with valid pages" % pba)
+        # Resolve the channel (which validates pba) before the first
+        # mutation, keeping the section's fallible work up front.
+        channel = self._geo.channel_of_block(pba)
         info.valid[:] = bytes(len(info.valid))
         info.sealed = False
         self._forget_active(pba)
@@ -110,7 +120,7 @@ class BlockManager:
             self.retired_blocks += 1
             return
         info.kind = BlockKind.FREE
-        self._free[self._geo.channel_of_block(pba)].append(pba)
+        self._free[channel].append(pba)
         self._free_count += 1
 
     def claim_block(self, pba: BlockId, kind=BlockKind.DATA):
@@ -136,6 +146,10 @@ class BlockManager:
         """
         self._forget_active(pba)
 
+    @atomic_section(
+        "pool removal, validity clear and RETIRED marking commit "
+        "together; a half-retired block could be re-allocated"
+    )
     def retire_failed_block(self, pba: BlockId):
         """Take a known-bad block out of service immediately.
 
@@ -192,6 +206,13 @@ class BlockManager:
             striped=stream in self._STRIPED_STREAMS,
         )
 
+    @atomic_section(
+        "append-point rotation, free-block pop and kind tagging are one "
+        "allocation step; a competing allocator between them would hand "
+        "out the same PPA twice",
+        restores_state=True,  # DeviceFullError escapes with only the
+        # round-robin cursor advanced — no block claimed, no slot filled
+    )
     def allocate_page_keyed(self, key, kind, striped=False) -> Ppa:
         """Like :meth:`allocate_page` but for a dynamic stream ``key``.
 

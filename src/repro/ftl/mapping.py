@@ -14,6 +14,7 @@ comparisons; the demand-paged mode exists for fidelity studies.
 
 from collections import OrderedDict
 
+from repro.common.atomic import atomic_section
 from repro.common.errors import AddressError
 from repro.common.units import Lba, Ppa
 from repro.flash.page import NULL_PPA
@@ -67,6 +68,12 @@ class AddressMappingTable:
         self._touch(lpa, writing=False)
         return self._table[lpa]
 
+    @atomic_section(
+        "the L2P entry and the demand-cache/dirty accounting must move "
+        "together: a suspension in between would charge translation I/O "
+        "for a mapping no reader can see yet (range check precedes any "
+        "mutation)"
+    )
     def update(self, lpa: Lba, ppa: Ppa) -> Ppa:
         """Point ``lpa`` at ``ppa``; returns the previous PPA."""
         self._check(lpa)

@@ -9,6 +9,7 @@ reclaimed immediately.
 
 from dataclasses import dataclass, field
 
+from repro.common.atomic import atomic_section
 from repro.common.clock import SimClock
 from repro.common.idle import IdlePredictor
 from repro.common.errors import (
@@ -345,6 +346,14 @@ class BaseSSD:
 
     # --- Write-path internals ----------------------------------------------
 
+    @atomic_section(
+        "allocate + map + program + validity must commit as one step: a "
+        "competing task between mapping update and program would read a "
+        "mapped-but-unwritten page",
+        restores_state=True,  # retry exhaustion re-points the mapping at
+        # the last durable copy (or invalidates a first write) before the
+        # ProgramFailureError escapes
+    )
     def _program_user_page(self, lpa, data, now_us):
         """Allocate, program and map one user page; returns completion.
 
@@ -380,6 +389,16 @@ class BaseSSD:
             self._on_invalidate(lpa, old, now_us)
         return complete
 
+    @atomic_section(
+        "the allocate/program/remap-on-failure loop is one media "
+        "transaction: suspending between a burned page and its "
+        "replacement allocation would let a competing allocator reuse "
+        "the failed block",
+        restores_state=True,  # a failed program permanently burns the
+        # page and may retire the block (durable media truth); no
+        # mapping/index state is touched, so the raise leaves firmware
+        # state consistent
+    )
     def program_with_retry(self, allocate, data, oob, now_us):
         """Program with remap-on-failure for housekeeping writes.
 
@@ -506,6 +525,10 @@ class BaseSSD:
         """Called after every host request completes."""
         self._last_io_end_us = complete_us
 
+    @atomic_section(
+        "stale-page bookkeeping (PVT clear; TimeSSD adds the retention "
+        "census) must agree with the mapping update that triggered it"
+    )
     def _on_invalidate(self, lpa, old_ppa, now_us):
         """An update/TRIM made ``old_ppa`` stale.
 
@@ -525,6 +548,14 @@ class BaseSSD:
 
     # --- Shared mechanics ----------------------------------------------------
 
+    @atomic_section(
+        "migrate + erase + release is one reclaim step: suspending "
+        "between migration and erase would expose two valid copies of "
+        "each page to a competing victim selection",
+        restores_state=True,  # a program failure mid-migration escapes
+        # with every already-migrated page individually remapped and the
+        # victim still intact — consistent, merely unreclaimed
+    )
     def relocate_block(self, pba, now_us):
         """Migrate every valid page out of ``pba``, erase and free it.
 
@@ -570,6 +601,14 @@ class BaseSSD:
         if current == old_ppa:
             self.mapping.update(oob.lpa, new_ppa)
 
+    @atomic_section(
+        "erase + release/retire + wear accounting commit together; a "
+        "half-released block would be visible to a competing allocator",
+        # A completed erase is durable media truth; release_block either
+        # frees or retires the block, and the wear-leveler accounting is
+        # monotonic counters that recovery rebuilds from flash anyway.
+        restores_state=True,
+    )
     def _erase_and_release(self, pba, now_us):
         try:
             self.device.erase_block(pba, now_us)

@@ -11,6 +11,7 @@ Figure 10), but arbitrary history queries are impossible.
 from collections import deque
 from dataclasses import dataclass
 
+from repro.common.atomic import atomic_section
 from repro.common.errors import DeviceFullError
 from repro.flash.page import NULL_PPA
 from repro.ftl.block_manager import BlockKind, StreamId
@@ -65,6 +66,15 @@ class FlashGuardSSD(BaseSSD):
             return
         self._reclaim(victim, now_us)
 
+    @atomic_section(
+        "FlashGuard reclaims a victim as one step: live and retained "
+        "pages migrate and the block is erased before anyone else can "
+        "allocate from it",
+        # Per-page migration is self-consistent: a page is remapped (or
+        # its retained-version record re-pointed) before the next page
+        # is touched, so a mid-reclaim failure loses nothing.
+        restores_state=True,
+    )
     def _reclaim(self, victim, now_us):
         geo = self.device.geometry
         bm = self.block_manager

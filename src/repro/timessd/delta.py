@@ -16,6 +16,7 @@ Two codecs:
 
 from dataclasses import dataclass, field
 
+from repro.common.atomic import atomic_section
 from repro.common.errors import DeviceFullError, ProgramFailureError, ReproError
 from repro.common.units import TimeUs
 from repro.flash.page import OOBMetadata
@@ -220,6 +221,18 @@ class DeltaManager:
         self.records_created += 1
         return complete
 
+    @atomic_section(
+        "the RAM buffer empties, the records learn their flash PPA and "
+        "the segment's block set grows in one step: a query suspended "
+        "in between would find a record that is neither in RAM nor "
+        "readable from flash yet (a deferred flush mutates nothing, so "
+        "the failure path needs no rollback)",
+        # Once the delta page is programmed, flash is the source of
+        # truth: the RAM-side bookkeeping after the program is exactly
+        # what recovery's segment scan reconstructs, so an exception in
+        # it loses no record.
+        restores_state=True,
+    )
     def flush_segment(self, segment_id, now_us):
         """Write the segment's buffered deltas as one delta page.
 
@@ -291,6 +304,16 @@ class DeltaManager:
         state = self._segments.get(segment_id)
         return set(state.blocks) if state else set()
 
+    @atomic_section(
+        "segment teardown: dropping the RAM records, closing the delta "
+        "append stream and erasing the segment's blocks must look like "
+        "one event — a reader interleaved mid-drop could resurrect a "
+        "record whose backing block is already queued for erase",
+        # Records are marked dropped before any erase, so a mid-loop
+        # erase failure (bad block, retired inside erase_delta_block)
+        # never resurrects history; completed erases are durable.
+        restores_state=True,
+    )
     def drop_segment(self, segment_id, now_us):
         """Destroy a segment's deltas: erase its delta blocks immediately.
 

@@ -18,6 +18,7 @@ prescribes.
 
 from dataclasses import dataclass
 
+from repro.common.atomic import atomic_section
 from repro.common.errors import EraseFailureError
 from repro.flash.page import NULL_PPA, PageState
 from repro.ftl.block_manager import BlockKind, StreamId
@@ -48,6 +49,17 @@ class TimeSSDGarbageCollector:
 
     # --- Block reclamation (Algorithm 1, lines 5-26) --------------------------
 
+    @atomic_section(
+        "Algorithm 1 reclaims a block as one step: migrate/compress/"
+        "discard every page, then erase and release — a foreground write "
+        "interleaved mid-reclaim could allocate into the half-emptied "
+        "victim or read a version whose delta head is being relinked",
+        # Each per-page iteration commits a self-consistent unit (a
+        # migrated page is remapped before the next page is touched; a
+        # compressed chain is linked before its sources are marked
+        # reclaimable), so a mid-loop failure loses no version.
+        restores_state=True,
+    )
     def reclaim_block(self, victim_pba, now_us):
         """Reclaim one data block; returns a :class:`ReclaimOutcome`."""
         ssd = self._ssd
@@ -122,6 +134,16 @@ class TimeSSDGarbageCollector:
 
     # --- Retained-version compression (Algorithm 1, lines 19-25) --------------
 
+    @atomic_section(
+        "chain walk + delta append + newest-first relink + reclaimable "
+        "marking are one compression step: a request served mid-step "
+        "could retrieve a version whose delta record exists but is not "
+        "yet linked into the chain",
+        # Sources are marked reclaimable only after their deltas are
+        # linked and buffered, so a mid-step failure leaves every
+        # version still retrievable from its original flash page.
+        restores_state=True,
+    )
     def compress_version_chain(self, ppa, now_us):
         """Compress the retained page at ``ppa`` plus its older chain.
 

@@ -18,6 +18,7 @@ been compressed (or has expired) so GC can discard them without reading.
 
 from dataclasses import dataclass
 
+from repro.common.atomic import atomic_section
 from repro.common.units import BlockId, Lba, Ppa, TimeUs
 from repro.flash.page import NULL_PPA, PageState
 
@@ -64,9 +65,17 @@ class TimeTravelIndex:
     def is_reclaimable(self, ppa: Ppa):
         return ppa in self._reclaimable
 
+    @atomic_section(
+        "the PRT bits of an erased block vanish as one unit: a GC pass "
+        "interleaved over a half-cleared block would treat its surviving "
+        "reclaimable bits as live compression state"
+    )
     def clear_block(self, pba: BlockId):
         """Forget PRT bits of an erased block."""
-        for ppa in self._geo.pages_of_block(pba):
+        # Resolve the page range (which validates pba) before touching
+        # the PRT, so a bad block id leaves the set untouched.
+        ppas = list(self._geo.pages_of_block(pba))
+        for ppa in ppas:
             self._reclaimable.discard(ppa)
 
     def reclaimable_count(self):

@@ -13,6 +13,8 @@ shrink the window by recycling the oldest bloom segment — never past the
 guaranteed floor (three days by default).
 """
 
+from repro.common.atomic import atomic_section
+
 
 class GCOverheadEstimator:
     """Periodic Equation-1 evaluation."""
@@ -95,6 +97,11 @@ class RetentionManager:
     def can_shrink(self):
         return self.blooms.can_drop_oldest(self.floor_us)
 
+    @atomic_section(
+        "the floor check and the bloom-window drop are one decision: a "
+        "suspension in between could admit a second shrink that takes "
+        "the window below the configured floor"
+    )
     def shrink(self):
         """Drop the oldest segment if the floor allows; returns it or None."""
         if not self.can_shrink():

@@ -10,6 +10,7 @@ time-travel index.  :mod:`repro.timekits` provides the query surface.
 import random
 from collections import defaultdict
 
+from repro.common.atomic import atomic_section
 from repro.common.errors import (
     DeviceFullError,
     EraseFailureError,
@@ -96,6 +97,17 @@ class TimeSSD(BaseSSD):
 
     # --- Retention bookkeeping -------------------------------------------------
 
+    @atomic_section(
+        "the retention census (blooms, per-block retained counts, TRIM "
+        "tombstones) must move with the validity flip it describes: a "
+        "suspension in between would let GC see a stale page the census "
+        "does not yet count as retained",
+        # The PVT flip, bloom insert and census increment are each
+        # independently consistent sub-updates; recovery rebuilds the
+        # census from flash, so a geometry/bloom failure mid-way (which
+        # means corrupted configuration, not a data race) loses nothing.
+        restores_state=True,
+    )
     def _on_invalidate(self, lpa, old_ppa, now_us):
         super()._on_invalidate(lpa, old_ppa, now_us)
         self.blooms.record_invalidation(old_ppa)
@@ -234,6 +246,16 @@ class TimeSSD(BaseSSD):
 
     # --- Retention window ------------------------------------------------------
 
+    @atomic_section(
+        "one expiry step: the bloom window advances and the expired "
+        "segment's delta blocks are erased together — a suspension in "
+        "between would leave queryable timestamps pointing at a segment "
+        "the window no longer covers",
+        # Grown-bad-block erase failures are absorbed inside
+        # erase_delta_block (the block is retired); every earlier erase
+        # is durable media truth, not state to roll back.
+        restores_state=True,
+    )
     def _shrink_retention(self, now_us):
         segment = self.retention.shrink()
         if segment is not None:
@@ -250,6 +272,15 @@ class TimeSSD(BaseSSD):
                 )
         return segment
 
+    @atomic_section(
+        "erase + index clear + retention-census forget + pool release "
+        "commit as one reclaim step: between them the block is erased "
+        "flash that the index still claims holds versions",
+        # The bad-block path retires the block instead of erasing it;
+        # either way the index/census/pool teardown below runs to
+        # completion, leaving per-block-consistent state.
+        restores_state=True,
+    )
     def erase_delta_block(self, pba, now_us: TimeUs):
         """Erase an expired delta block (no migration, Algorithm 1 line 3)."""
         try:

@@ -95,3 +95,55 @@ def test_corrupt_cache_files_are_ignored(tmp_path):
         (directory / name).write_text("{not json")
     fresh = ResultCache(str(directory), ["hygiene-print"])
     assert fresh.lookup_file(module) is None
+
+
+def test_analyzer_source_change_invalidates_deep_cache(tmp_path, monkeypatch):
+    # Editing any analysis source (here a stand-in contracts.py) bumps
+    # the analyzer version, so deep results can never be served stale.
+    from repro.analysis import cache as cache_mod
+
+    fake = tmp_path / "analysis"
+    fake.mkdir()
+    (fake / "contracts.py").write_text("CONTRACTS = []\n")
+    monkeypatch.setattr(cache_mod, "_ANALYSIS_DIR", str(fake))
+    monkeypatch.setattr(cache_mod, "_VERSION_CACHE", [])
+
+    module = _module(tmp_path)
+    first = cache_mod.ResultCache(str(tmp_path / "cache"), ["some-rule"])
+    first.store_deep([module], [], {})
+    first.save()
+    warm = cache_mod.ResultCache(str(tmp_path / "cache"), ["some-rule"])
+    assert warm.lookup_deep([module]) is not None
+
+    (fake / "contracts.py").write_text("CONTRACTS = ['edited']\n")
+    monkeypatch.setattr(cache_mod, "_VERSION_CACHE", [])
+    fresh = cache_mod.ResultCache(str(tmp_path / "cache"), ["some-rule"])
+    assert fresh.signature != first.signature
+    assert fresh.lookup_deep([module]) is None
+
+
+def test_rule_selection_change_misses_deep_cache(tmp_path):
+    module = _module(tmp_path)
+    cache = ResultCache(
+        str(tmp_path / "cache"), ["concurrency-reentrant-atomic"]
+    )
+    cache.store_deep([module], [], {})
+    cache.save()
+    narrow = ResultCache(
+        str(tmp_path / "cache"),
+        ["concurrency-reentrant-atomic", "concurrency-yield-in-atomic"],
+    )
+    assert narrow.lookup_deep([module]) is None
+
+
+def test_cache_counts_hits_and_misses(tmp_path):
+    module = _module(tmp_path)
+    cache = ResultCache(str(tmp_path / "cache"), ["hygiene-print"])
+    assert cache.lookup_file(module) is None
+    cache.store_file(module, [], set())
+    assert cache.lookup_file(module) is not None
+    assert (cache.shallow_hits, cache.shallow_misses) == (1, 1)
+    assert cache.lookup_deep([module]) is None
+    cache.store_deep([module], [], {})
+    assert cache.lookup_deep([module]) is not None
+    assert (cache.deep_hits, cache.deep_misses) == (1, 1)

@@ -23,6 +23,7 @@ def test_registry_has_all_packs():
         "callgraph",
         "effects",
         "domains",
+        "concurrency",
     }
     ids = [rule.rule_id for rule in all_rules()]
     assert len(ids) == len(set(ids))

@@ -176,3 +176,51 @@ def test_whole_tree_is_clean():
     # The acceptance gate: the shipped tree has zero violations,
     # including the whole-program passes (rules=None selects them all).
     assert analyze_paths([SRC_REPRO]) == []
+
+
+def test_stats_flag_reports_counts_and_cache(tmp_path, capsys):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    cache_dir = str(tmp_path / "cache")
+    assert lint_main([str(path), "--cache-dir", cache_dir, "--stats"]) == 1
+    err = capsys.readouterr().err
+    assert "findings by rule:" in err
+    assert "determinism-wallclock" in err
+    assert "cache shallow: 0 hit / 1 miss" in err
+    # Warm run: same selection, unchanged file -> pure hit.
+    assert lint_main([str(path), "--cache-dir", cache_dir, "--stats"]) == 1
+    err = capsys.readouterr().err
+    assert "cache shallow: 1 hit / 0 miss (100% hit)" in err
+
+
+def test_stats_flag_reports_disabled_cache(tmp_path, capsys):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    assert lint_main([str(path), "--no-cache", "--stats"]) == 0
+    assert "cache: disabled" in capsys.readouterr().err
+
+
+def test_emit_interleaving_writes_report(tmp_path, capsys):
+    pkg = tmp_path / "repro" / "ftl"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "ssd.py").write_text(
+        "class BaseSSD:\n    def write(self, lpa):\n        return lpa\n"
+    )
+    out = tmp_path / "contract.md"
+    assert (
+        lint_main(
+            [
+                str(tmp_path / "repro"),
+                "--no-cache",
+                "--emit-interleaving",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    text = out.read_text()
+    assert text.startswith("<!-- Generated by")
+    assert "host-serve" in text
+    capsys.readouterr()
