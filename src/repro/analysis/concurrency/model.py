@@ -82,6 +82,17 @@ TASK_ROOTS = (
         ),
     ),
     TaskRoot(
+        name="background-scrub",
+        category="background",
+        qualnames=("repro.ftl.scrub.PatrolScrubber.run",),
+        description=(
+            "idle-window patrol scrubbing: ladder-reads sealed blocks "
+            "oldest-programmed-first, refreshes at-risk pages before "
+            "they exceed the ECC budget, retires grown-bad blocks and "
+            "applies the degraded-mode heal policy"
+        ),
+    ),
+    TaskRoot(
         name="retention-expiry",
         category="background",
         qualnames=("repro.timessd.ssd.TimeSSD._shrink_retention",),
@@ -339,6 +350,18 @@ POLICIES = (
         why=(
             "fault-plan bookkeeping mutates only inside the interposed "
             "hooks, which run within whichever task issued the flash op"
+        ),
+    ),
+    SharedStatePolicy(
+        owner="repro.ftl.scrub.PatrolScrubber",
+        attr="*",
+        policy="monotonic",
+        why=(
+            "the at-risk queue and patrol cursor are advisory scrub "
+            "inputs: a read on any root may enqueue, the scrub run "
+            "drains, and every entry is re-validated against firmware "
+            "state before a refresh — a stale or interleaved entry "
+            "costs at most one wasted patrol read"
         ),
     ),
     SharedStatePolicy(

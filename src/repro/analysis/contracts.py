@@ -116,6 +116,126 @@ CONTRACTS = (
             ),
         ),
     ),
+    ReachContract(
+        rule_id="effects-scrub-rng",
+        description=(
+            "the patrol scrubber must never consume foreground RNG: "
+            "whether scrub ran in some idle window may not perturb the "
+            "host-visible random stream (golden determinism depends on "
+            "it)"
+        ),
+        roots=("repro.ftl.scrub.",),
+        effect="consumes-rng",
+        waivers=(
+            Waiver(
+                "repro.flash.reliability.ReliabilityEngine.check_read",
+                "the media noise source: a dedicated stream seeded from "
+                "FlashReliability.seed, deliberately separate from the "
+                "FTL's foreground RNG — patrol reads draw from it like "
+                "any other read, without touching host randomness",
+            ),
+            Waiver(
+                "repro.timessd.delta.ModeledDeltaCodec.compress",
+                "modeled-content mode draws delta sizes from the "
+                "device's content model; the draw belongs to the data "
+                "model shared by every compression path (GC, background, "
+                "scrub refresh) — under REAL content mode scrub "
+                "compression is RNG-free",
+            ),
+            Waiver(
+                "repro.common.stats.LatencyStats.record",
+                "the latency reservoir's eviction slot draw: "
+                "observability-only state seeded per-stats-object, never "
+                "read back by the simulation; scrub recording a latency "
+                "cannot perturb host-visible behaviour",
+            ),
+            Waiver(
+                "repro.faults.hooks.FaultHooks.on_read",
+                "fault-injection harness: fire() draws from the fault "
+                "plan's own seeded stream, which exists only when a "
+                "torture plan is installed and is owned by the test "
+                "harness, not the foreground FTL",
+            ),
+            Waiver(
+                "repro.faults.hooks.FaultHooks.on_program",
+                "same fault-plan-owned stream as on_read (probability-"
+                "triggered specs roll against the plan's dedicated RNG)",
+            ),
+            Waiver(
+                "repro.faults.hooks.FaultHooks.on_erase",
+                "same fault-plan-owned stream as on_read",
+            ),
+            Waiver(
+                "repro.security.attacks._junk_pool",
+                "analysis imprecision: reachable only via ambiguous "
+                "constructor dispatch (flash primitives build error "
+                "objects; the name-matched __init__ belongs to the "
+                "attack drivers) — the scrubber never instantiates "
+                "attack objects",
+            ),
+            Waiver(
+                "repro.workloads.content.ContentFactory.mutate",
+                "analysis imprecision: same ambiguous-constructor chain "
+                "as _junk_pool; workload content factories are never "
+                "created or invoked from device or scrub code",
+            ),
+        ),
+    ),
+    ReachContract(
+        rule_id="effects-scrub-flash-writes",
+        description=(
+            "patrol reads never program or erase flash except through "
+            "the refresh migration API: a scrub pass that could write "
+            "anywhere else might corrupt the history it protects"
+        ),
+        roots=("repro.ftl.scrub.",),
+        effect="mutates-flash",
+        waivers=(
+            Waiver(
+                "repro.ftl.ssd.BaseSSD.program_with_retry",
+                "the refresh migration API for valid pages: the same "
+                "remap-on-failure program loop GC migration uses, "
+                "followed by the public remap_migrated_page path",
+            ),
+            Waiver(
+                "repro.ftl.ssd.BaseSSD._refresh_retained_page",
+                "the refresh API for retained versions: a no-op on the "
+                "base device; TimeSSD compresses the version into its "
+                "delta chain, preserving timestamp and chain linkage",
+            ),
+            Waiver(
+                "repro.timessd.ssd.TimeSSD._refresh_retained_page",
+                "TimeSSD's retained-refresh override (reached by "
+                "virtual dispatch from the scrubber's hook call)",
+            ),
+            Waiver(
+                "repro.ftl.ssd.BaseSSD.relocate_block",
+                "grown-bad-block retirement: emptying and releasing a "
+                "condemned block reuses the exact GC reclaim step; "
+                "release_block sees Block.failed and retires it",
+            ),
+            Waiver(
+                "repro.timessd.ssd.TimeSSD.relocate_block",
+                "TimeSSD's retention-aware reclaim override of the "
+                "retirement path",
+            ),
+            Waiver(
+                "repro.faults.hooks.FaultHooks.on_read",
+                "analysis imprecision: the hook only raises or returns; "
+                "the flash-mutating paths attributed to it come from "
+                "ambiguous constructor dispatch on the error objects it "
+                "builds (name-matched __init__ chains into host-write "
+                "drivers the scrubber never touches)",
+            ),
+            Waiver(
+                "repro.flash.reliability.ReliabilityEngine.check_read",
+                "analysis imprecision: the ECC check samples corrected "
+                "bits and raises UncorrectableReadError — it has no path "
+                "to media state; the attributed writes are the same "
+                "ambiguous error-constructor chain as on_read",
+            ),
+        ),
+    ),
     CallerContract(
         rule_id="effects-fault-hook-sites",
         description=(

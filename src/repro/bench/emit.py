@@ -1,4 +1,4 @@
-"""Machine-readable metrics snapshots: BENCH_pr6.json and the CLI demo.
+"""Machine-readable metrics snapshots: BENCH_pr7.json and the CLI demo.
 
 The bench smoke workload replays the same seeded churn on both devices
 and serializes their :meth:`~repro.ftl.ssd.BaseSSD.metrics_snapshot`
@@ -24,7 +24,7 @@ from repro.timessd.ssd import TimeSSD
 #: Schema tag: bump only when the JSON layout changes incompatibly.
 SCHEMA = "almanac-metrics/1"
 
-BENCH_FILE = "BENCH_pr6.json"
+BENCH_FILE = "BENCH_pr7.json"
 
 #: A fresh run slower than this fraction of the committed ops/sec fails
 #: ``check_bench_snapshot`` (>20% regression, per-run jitter allowed).
@@ -125,6 +125,87 @@ def bench_smoke_snapshots(seed=1, writes=1500):
         "schema": SCHEMA,
         "workload": {"name": "bench-smoke", "writes": writes, "seed": seed},
         "devices": devices,
+        "reliability": reliability_smoke_snapshot(seed=seed),
+    }
+
+
+def make_bench_aging_timessd(seed=1):
+    """Bench TimeSSD with the aging model and patrol scrub enabled."""
+    from repro.bench.config import make_bench_timessd as _factory
+    from repro.flash.reliability import FlashReliability
+
+    return _factory(
+        reliability=FlashReliability(
+            raw_bit_error_rate=2e-5,
+            wear_ber_multiplier=0.002,
+            retention_ber_per_hour=1.0,
+            read_disturb_ber_per_read=5e-4,
+            ecc_correctable_bits=24,
+            seed=seed,
+        ),
+        patrol_scrub=True,
+    )
+
+
+def reliability_smoke_snapshot(seed=1, writes=360):
+    """A day of simulated aging under scrub + retry (docs/RELIABILITY.md).
+
+    Read-heavy epochs separated by 10-hour retention jumps: pages drift
+    toward the ECC budget, the ladder rescues the marginal reads, and
+    the patrol scrubber refreshes the at-risk ones in the idle windows.
+    Fully deterministic per seed, like the rest of the snapshot.
+    """
+    import random
+
+    from repro.common.units import HOUR_US
+
+    ssd = make_bench_aging_timessd(seed=seed)
+    rng = random.Random(seed)
+    working = 256
+    for lpa in range(working):
+        ssd.write(lpa)
+        ssd.clock.advance(1500)
+    for _epoch in range(4):
+        ssd.clock.advance(10 * HOUR_US)
+        for _ in range(writes // 4):
+            lpa = rng.randrange(working)
+            if rng.random() < 0.75:
+                ssd.read(lpa)
+            else:
+                ssd.write(lpa)
+            ssd.clock.advance(15_000)
+    snapshot = ssd.metrics_snapshot()
+    counters = snapshot["counters"]
+    histograms = snapshot["histograms"]
+    return {
+        "workload": {
+            "name": "aging-day",
+            "seed": seed,
+            "writes": writes,
+            "epochs": 4,
+            "epoch_hours": 10,
+        },
+        "retry": {
+            "reads": counters.get("reliability.retry_reads", 0),
+            "exhausted": counters.get("reliability.retry_exhausted", 0),
+            "depth": histograms.get("reliability.retry_depth"),
+        },
+        "ecc": {
+            "corrected_reads": counters.get("flash.ecc.corrected_reads", 0),
+            "corrected_bits": counters.get("flash.ecc.corrected_bits", 0),
+            "uncorrectable_reads": counters.get(
+                "flash.ecc.uncorrectable_reads", 0
+            ),
+        },
+        "scrub": {
+            "runs": counters.get("scrub.runs", 0),
+            "patrol_reads": counters.get("scrub.patrol_reads", 0),
+            "refreshed_valid": counters.get("scrub.refreshed_valid", 0),
+            "refreshed_retained": counters.get("scrub.refreshed_retained", 0),
+            "skipped_expired": counters.get("scrub.skipped_expired", 0),
+            "at_risk_queued": counters.get("scrub.at_risk_queued", 0),
+            "blocks_retired": counters.get("scrub.blocks_retired", 0),
+        },
     }
 
 
@@ -159,7 +240,7 @@ def to_canonical_json(result, indent=2):
 
 
 def write_bench_json(path=None, seed=1, writes=1500):
-    """Emit ``BENCH_pr6.json``; returns the path written."""
+    """Emit ``BENCH_pr7.json``; returns the path written."""
     path = path or BENCH_FILE
     result, harness = _timed_smoke(seed, writes)
     result["harness"] = harness

@@ -211,14 +211,19 @@ def _cmd_selftest(args):
 
 
 def _cmd_torture(args):
-    from repro.faults.torture import TortureConfig, run_torture
+    from repro.faults.torture import TortureConfig, run_torture, scrub_preset
 
-    config = TortureConfig(
-        ops=args.ops,
+    overrides = dict(
         crash_every=args.crash_every,
         torn=not args.no_torn,
         seed=args.seed,
     )
+    if args.ops is not None:
+        overrides["ops"] = args.ops
+    if args.scrub:
+        config = scrub_preset(**overrides)
+    else:
+        config = TortureConfig(**overrides)
     print(
         "torture: replaying %d host ops, power cut at every %s flash op..."
         % (config.ops, "%dth" % config.crash_every)
@@ -378,7 +383,16 @@ def build_parser():
         "torture", help="crash-point sweep: cut, rebuild, audit"
     )
     torture.add_argument(
-        "--ops", type=int, default=400, help="host ops to replay (default 400)"
+        "--ops",
+        type=int,
+        default=None,
+        help="host ops to replay (default 400; 160 with --scrub)",
+    )
+    torture.add_argument(
+        "--scrub",
+        action="store_true",
+        help="enable media aging + patrol scrub: crash points also land "
+        "inside patrol reads and refresh migrations",
     )
     torture.add_argument(
         "--crash-every",
@@ -407,7 +421,7 @@ def build_parser():
         "--bench",
         action="store_true",
         help="run the bench smoke workload on both devices and write %s"
-        % "BENCH_pr6.json",
+        % "BENCH_pr7.json",
     )
     metrics.add_argument(
         "--check",

@@ -88,8 +88,13 @@ class EraseFailureError(FlashFaultError):
 class UncorrectableReadError(FlashFaultError):
     """Raw bit errors exceeded the ECC correction budget for one read."""
 
-    def __init__(self, ppa, bit_errors=None, budget=None):
-        if bit_errors is None:
+    def __init__(self, ppa, bit_errors=None, budget=None, lost=False):
+        if lost:
+            message = (
+                "uncorrectable read: the only copy (PPA %d) was lost to a "
+                "media error during migration; rewrite the LBA to clear" % ppa
+            )
+        elif bit_errors is None:
             message = "uncorrectable read at PPA %d (injected)" % ppa
         else:
             message = "uncorrectable read at PPA %d: %d bit errors > ECC budget %d" % (

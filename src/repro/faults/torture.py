@@ -25,13 +25,14 @@ formats the :class:`TortureReport`.
 """
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.common.errors import PowerCutError, ReproError
 from repro.common.units import SECOND_US
 from repro.faults.hooks import FaultHooks
 from repro.faults.plan import FaultPlan
 from repro.flash.geometry import FlashGeometry
+from repro.flash.reliability import FlashReliability
 from repro.timessd.config import ContentMode, TimeSSDConfig
 from repro.timessd.recovery import rebuild_from_flash, simulate_power_loss
 from repro.timessd.ssd import TimeSSD
@@ -64,6 +65,32 @@ class TortureConfig:
     #: Small enough that the default workload forces GC, migrations and
     #: delta flushes — the paths a crash must not corrupt.
     blocks_per_plane: int = 6
+    #: Enable media aging + the patrol scrubber.  The enumerated crash
+    #: points then also land inside patrol reads, read-retry ladders and
+    #: scrub refresh migrations — proving a power cut mid-refresh never
+    #: loses the at-risk page's only intact copy.  Use
+    #: :func:`scrub_preset` rather than flipping this alone: scrub work
+    #: only runs in predicted-idle windows, so the host gap must exceed
+    #: the idle threshold.
+    scrub: bool = False
+    #: ECC budget of the scrub-torture device — small, so aging pressure
+    #: (and refresh work) is visible within the short replay.
+    scrub_ecc_bits: int = 8
+    #: Raw BER tuned so the mean error count sits near half the budget:
+    #: refreshes are frequent, full-ladder losses vanishingly rare.
+    scrub_raw_ber: float = 0.002
+
+
+def scrub_preset(**overrides):
+    """A :class:`TortureConfig` that exercises the scrub/refresh paths.
+
+    The host gap is stretched past the idle predictor's threshold
+    (10 ms) so every inter-op gap opens a housekeeping window for the
+    patrol scrubber, and the op count is kept small because scrub adds
+    patrol reads (more flash ops → more crash points).
+    """
+    config = TortureConfig(scrub=True, ops=160, gap_us=15_000)
+    return replace(config, **overrides) if overrides else config
 
 
 @dataclass
@@ -87,6 +114,10 @@ class TortureReport:
     total_flash_ops: int
     crash_every: int
     outcomes: list = field(default_factory=list)
+    #: Scrub activity of the clean (fault-free) run — nonzero proves the
+    #: crash-point sweep actually covered patrol/refresh flash ops.
+    scrub_patrol_reads: int = 0
+    scrub_refreshes: int = 0
 
     @property
     def cuts_tested(self):
@@ -111,6 +142,11 @@ class TortureReport:
                 "all recovered" if self.ok else "%d FAILED" % len(self.failures),
             )
         ]
+        if self.scrub_patrol_reads or self.scrub_refreshes:
+            lines.append(
+                "  scrub coverage: %d patrol reads, %d refreshes in the "
+                "clean run" % (self.scrub_patrol_reads, self.scrub_refreshes)
+            )
         for outcome in self.failures:
             lines.append(
                 "  cut@%d (%d ops acked, %d torn pages):"
@@ -152,6 +188,22 @@ def _build_ssd(config, plan):
         pages_per_block=16,
         page_size=PAGE_SIZE,
     )
+    extras = {}
+    if config.scrub:
+        extras = dict(
+            reliability=FlashReliability(
+                raw_bit_error_rate=config.scrub_raw_ber,
+                retention_ber_per_hour=50.0,
+                read_disturb_ber_per_read=0.01,
+                ecc_correctable_bits=config.scrub_ecc_bits,
+                seed=config.seed,
+            ),
+            patrol_scrub=True,
+            # Watermark at 3/4 of the budget: ~20% of patrol reads
+            # refresh (steady activity without a refresh storm).
+            scrub_risk_fraction=0.75,
+            scrub_pages_per_run=8,
+        )
     return TimeSSD(
         TimeSSDConfig(
             geometry=geometry,
@@ -160,6 +212,7 @@ def _build_ssd(config, plan):
             bloom_segment_max_age_us=SECOND_US // 2,
             content_mode=ContentMode.REAL,
             faults=FaultHooks(plan),
+            **extras,
         )
     )
 
@@ -187,13 +240,19 @@ def _replay(ssd, workload, gap_us):
     return acked, completed, False
 
 
+def _clean_run(config, workload):
+    """Replay with no fault armed; returns ``(plan, ssd)`` afterwards."""
+    plan = FaultPlan(seed=config.seed)
+    ssd = _build_ssd(config, plan)
+    _replay(ssd, workload, config.gap_us)
+    return plan, ssd
+
+
 def count_flash_ops(config, workload=None):
     """Flash ops the workload performs with no fault armed (clean run)."""
     if workload is None:
         workload = build_workload(config)
-    plan = FaultPlan(seed=config.seed)
-    ssd = _build_ssd(config, plan)
-    _replay(ssd, workload, config.gap_us)
+    plan, _ssd = _clean_run(config, workload)
     return plan.ops_seen
 
 
@@ -263,8 +322,18 @@ def run_torture(config=None):
     if config is None:
         config = TortureConfig()
     workload = build_workload(config)
-    total = count_flash_ops(config, workload)
-    report = TortureReport(total_flash_ops=total, crash_every=config.crash_every)
+    plan, clean_ssd = _clean_run(config, workload)
+    total = plan.ops_seen
+    metrics = clean_ssd.obs.metrics
+    report = TortureReport(
+        total_flash_ops=total,
+        crash_every=config.crash_every,
+        scrub_patrol_reads=metrics.counter("scrub.patrol_reads").value,
+        scrub_refreshes=(
+            metrics.counter("scrub.refreshed_valid").value
+            + metrics.counter("scrub.refreshed_retained").value
+        ),
+    )
     for cut_at in range(1, total + 1, config.crash_every):
         report.outcomes.append(run_crash_point(config, cut_at, workload))
     return report

@@ -21,6 +21,7 @@ class Block:
         "erase_count",
         "_write_pointer",
         "last_program_us",
+        "reads_since_erase",
         "failed",
     )
 
@@ -31,6 +32,9 @@ class Block:
         self._write_pointer = 0
         #: When the block last received a program (cost-benefit GC "age").
         self.last_program_us = 0
+        #: Sense operations since the last erase — the read-disturb
+        #: accumulator.  Erase resets the cells and the disturb damage.
+        self.reads_since_erase = 0
         #: Grown bad block: programs and erases fail permanently.  This is
         #: media truth — it survives power loss, unlike firmware tables.
         self.failed = False
@@ -80,6 +84,7 @@ class Block:
             page.oob = None
         self.erase_count += 1
         self._write_pointer = 0
+        self.reads_since_erase = 0
 
     def __repr__(self):
         return "Block(pba=%d, programmed=%d/%d, erases=%d)" % (

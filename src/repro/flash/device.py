@@ -46,6 +46,10 @@ class ReadResult:
     data: object
     oob: object
     complete_us: int = 0
+    #: Bits ECC corrected on this read (0 when reliability is disabled).
+    #: Firmware watches this drift toward the ECC budget to refresh
+    #: at-risk pages before they become uncorrectable.
+    corrected_bits: int = 0
 
 
 class FlashDevice:
@@ -61,9 +65,12 @@ class FlashDevice:
     ):
         self.geometry = geometry or FlashGeometry()
         self.timing = timing or FlashTiming()
+        #: Observability scope shared with the owning FTL (a standalone
+        #: device gets a private one so metrics are always recorded).
+        self.obs = obs if obs is not None else Scope()
         if reliability is not None:
             self.reliability = ReliabilityEngine(
-                reliability, self.geometry.page_size
+                reliability, self.geometry.page_size, metrics=self.obs.metrics
             )
         else:
             self.reliability = None
@@ -84,9 +91,6 @@ class FlashDevice:
             self.geometry.channels * self.geometry.chips_per_channel
         )
         self.counters = OpCounters()
-        #: Observability scope shared with the owning FTL (a standalone
-        #: device gets a private one so metrics are always recorded).
-        self.obs = obs if obs is not None else Scope()
         metrics = self.obs.metrics
         self._m_reads = metrics.counter("flash.reads")
         self._m_programs = metrics.counter("flash.programs")
@@ -101,12 +105,18 @@ class FlashDevice:
 
     # --- Functional + timed operations --------------------------------------
 
-    def read_page(self, ppa: Ppa, now_us: TimeUs = 0):
+    def read_page(self, ppa: Ppa, now_us: TimeUs = 0, retry_step: int = 0):
         """Read a page; returns :class:`ReadResult` with completion time.
 
         Timing: the cell sense occupies the chip, then the data transfer
         occupies the channel bus — so with multiple chips per channel,
         one die can sense while another's data streams out.
+
+        ``retry_step`` > 0 is a read-retry ladder attempt: the sense
+        re-runs with shifted reference voltages, lowering the effective
+        BER at the cost of ``retry_step`` extra sense times.  Every
+        attempt (retries included) stresses the block's neighbours, so
+        each one advances the read-disturb accumulator.
         """
         geo = self.geometry
         pba = geo.block_of_page(ppa)
@@ -114,14 +124,31 @@ class FlashDevice:
         if self.faults is not None:
             self.last_op_start_us = now_us
             self.faults.on_read(self, ppa)
-        data, oob = block.read(geo.page_offset(ppa))
+        offset = geo.page_offset(ppa)
+        data, oob = block.read(offset)
         self.counters.page_reads += 1
+        # Disturb from *prior* senses degrades this read; this read's own
+        # stress lands on the next one.  Count before the ECC check so
+        # retry attempts see the same disturb term as the failed read.
+        disturb_reads = block.reads_since_erase
+        block.reads_since_erase += 1
+        corrected = 0
         if self.reliability is not None:
-            # ECC check: may raise UncorrectableReadError; corrected
-            # errors are invisible to the caller (as on real drives).
-            self.reliability.check_read(ppa, block.erase_count)
+            # ECC check: may raise UncorrectableReadError.  Corrected
+            # errors cost nothing functionally (as on real drives) but
+            # the count is surfaced so firmware can refresh early.
+            page_age = max(0, now_us - block.pages[offset].programmed_us)
+            corrected = self.reliability.check_read(
+                ppa,
+                block.erase_count,
+                age_us=page_age,
+                block_reads=disturb_reads,
+                retry_step=retry_step,
+            )
         cell_done = self.chip_timelines.schedule(
-            self._chip_index(pba), now_us, self.timing.read_us
+            self._chip_index(pba),
+            now_us,
+            self.timing.read_us * (1 + retry_step),
         )
         complete = self.timelines.schedule(
             geo.channel_of_page(ppa), cell_done, self.timing.bus_transfer_us
@@ -131,7 +158,7 @@ class FlashDevice:
         tr = self.obs.trace
         if tr.enabled:
             tr.emit("flash-op", "read", complete, ppa=ppa, start_us=int(now_us))
-        return ReadResult(data, oob, complete)
+        return ReadResult(data, oob, complete, corrected)
 
     def read_oob(self, ppa: Ppa, now_us: TimeUs = 0):
         """Read only a page's OOB metadata.
@@ -158,8 +185,11 @@ class FlashDevice:
             # this line runs for a failed op — no counters, no timing.
             self.last_op_start_us = now_us
             self.faults.on_program(self, ppa, data, oob)
-        block.program(geo.page_offset(ppa), data, oob)
+        offset = geo.page_offset(ppa)
+        block.program(offset, data, oob)
         block.last_program_us = now_us
+        # Retention clock: charge leakage is measured from this moment.
+        block.pages[offset].programmed_us = now_us
         self.counters.page_programs += 1
         transferred = self.timelines.schedule(
             geo.channel_of_page(ppa), now_us, self.timing.bus_transfer_us

@@ -97,12 +97,16 @@ class Page:
     trace replays.  The flash layer never inspects it.
     """
 
-    __slots__ = ("state", "data", "oob")
+    __slots__ = ("state", "data", "oob", "programmed_us")
 
     def __init__(self):
         self.state = PageState.ERASED
         self.data = None
         self.oob = None
+        #: Simulated time this page was programmed — the reliability
+        #: model's retention clock (charge leaks from the moment the
+        #: cells are written, not from when the block was opened).
+        self.programmed_us = 0
 
     def __repr__(self):
         return "Page(%s, lpa=%s)" % (

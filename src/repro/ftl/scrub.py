@@ -1,0 +1,358 @@
+"""Background patrol scrubbing and data refresh (docs/RELIABILITY.md).
+
+Retention leakage and read disturb push a page's raw bit errors toward
+the ECC budget long before it actually becomes unreadable.  Real
+controllers exploit that window: a background *patrol* reads through
+sealed blocks on a rotating schedule, watches the corrected-bit counts,
+and *refreshes* (rewrites) any page that has drifted past a risk
+watermark — resetting its retention clock — before the data is lost.
+
+The :class:`PatrolScrubber` runs from the same idle-window hook as
+background GC and delta compression, after both, and never overruns the
+window: every step is admitted against a conservative time bound, so the
+request that ends the window never waits on scrub work.
+
+Refresh dispatch:
+
+* a **valid** page is migrated exactly like a GC migration — fresh copy
+  via :meth:`~repro.ftl.ssd.BaseSSD.program_with_retry`, mapping moved
+  via the public :meth:`~repro.ftl.ssd.BaseSSD.remap_migrated_page`
+  path, OOB (timestamp, back-pointer) carried over unchanged;
+* an **invalid** page is handed to the device's
+  :meth:`~repro.ftl.ssd.BaseSSD._refresh_retained_page` hook — a no-op
+  on the base SSD (stale pages are garbage), while TimeSSD compresses
+  the retained version into its delta chain, which preserves the
+  version timestamp and chain linkage; retention-expired pages are
+  marked reclaimable and *skipped*, not refreshed.
+
+The scrubber is also the device's path out of read-only degraded mode:
+each run finishes by retiring grown-bad blocks still holding data and
+then asking the SSD to heal (:meth:`~repro.ftl.ssd.BaseSSD._maybe_heal`
+applies the dwell/hysteresis policy).
+
+Determinism: patrol order is a pure function of firmware state (sealed
+blocks sorted oldest-programmed-first, rotating cursor), the at-risk
+queue is FIFO, and the only randomness anywhere below is the
+:class:`~repro.flash.reliability.ReliabilityEngine`'s own seeded media
+stream — scrub never touches the foreground RNG (pinned by the
+``effects-scrub-rng`` contract).
+"""
+
+from repro.common.atomic import atomic_section
+from repro.common.errors import ProgramFailureError, UncorrectableReadError
+from repro.flash.page import PageState
+from repro.ftl.block_manager import BlockKind, StreamId
+
+__all__ = ["PatrolScrubber"]
+
+
+class PatrolScrubber:
+    """Idle-time patrol reader + at-risk page refresher for one SSD."""
+
+    def __init__(self, ssd):
+        self._ssd = ssd
+        #: FIFO of pages a foreground/ladder read flagged as at-risk.
+        self._at_risk = []
+        self._at_risk_set = set()
+        #: Rotating position in the oldest-first patrol order, so
+        #: successive windows continue the sweep instead of re-reading
+        #: the same oldest block forever.
+        self._patrol_cursor = 0
+        metrics = ssd.obs.metrics
+        self._m_runs = metrics.counter("scrub.runs")
+        self._m_patrol_reads = metrics.counter("scrub.patrol_reads")
+        self._m_refreshed_valid = metrics.counter("scrub.refreshed_valid")
+        self._m_refreshed_retained = metrics.counter("scrub.refreshed_retained")
+        self._m_skipped_expired = metrics.counter("scrub.skipped_expired")
+        self._m_at_risk_queued = metrics.counter("scrub.at_risk_queued")
+        self._m_uncorrectable = metrics.counter("scrub.uncorrectable")
+        self._m_blocks_retired = metrics.counter("scrub.blocks_retired")
+
+    # --- Foreground feedback -------------------------------------------------
+
+    @property
+    def _risk_bits(self):
+        """Corrected-bit watermark: at/above it a page is at-risk."""
+        engine = self._ssd.device.reliability
+        if engine is None:
+            return None
+        budget = engine.model.ecc_correctable_bits
+        return max(1, int(budget * self._ssd.config.scrub_risk_fraction))
+
+    def observe_read(self, ppa, corrected_bits, retry_step=0):
+        """Feedback from the read-retry ladder: queue at-risk pages.
+
+        A page is at-risk when ECC corrected at least the watermark's
+        worth of bits, or when the normal (step-0) sense failed and a
+        retry was needed — either way the next read may be the one that
+        exceeds the budget.
+        """
+        risk = self._risk_bits
+        if risk is None:
+            return
+        if corrected_bits < risk and retry_step == 0:
+            return
+        if ppa in self._at_risk_set:
+            return
+        self._at_risk_set.add(ppa)
+        self._at_risk.append(ppa)
+        self._m_at_risk_queued.inc()
+
+    def at_risk_backlog(self):
+        return len(self._at_risk)
+
+    # --- The idle-window entry point -----------------------------------------
+
+    def run(self, start_us, deadline_us):
+        """One scrub pass inside ``[start_us, deadline_us)``.
+
+        Order: drain the at-risk queue (pages known to be near the
+        budget), then patrol sealed data blocks oldest-programmed-first,
+        then retire grown-bad blocks, then attempt a degraded-mode heal.
+        Returns the time cursor where work stopped.
+        """
+        ssd = self._ssd
+        t = start_us
+        budget_pages = ssd.config.scrub_pages_per_run
+        refresh_bound = self._step_bound()
+        started = False
+        # -- 1. at-risk queue (cheapest wins first: already localized) --
+        while self._at_risk and budget_pages > 0:
+            if t + refresh_bound > deadline_us:
+                break
+            if not started:
+                started = True
+                self._m_runs.inc()
+            ppa = self._at_risk.pop(0)
+            self._at_risk_set.discard(ppa)
+            t = self._scrub_page(ppa, t, force_refresh=True)
+            budget_pages -= 1
+        # -- 2. patrol sweep, oldest-programmed-first -------------------
+        order = self._patrol_order()
+        for pba in self._rotate(order):
+            if budget_pages <= 0 or t + refresh_bound > deadline_us:
+                break
+            for ppa in ssd.device.geometry.pages_of_block(pba):
+                if budget_pages <= 0 or t + refresh_bound > deadline_us:
+                    break
+                if not self._patrol_worthy(ppa):
+                    continue
+                if not started:
+                    started = True
+                    self._m_runs.inc()
+                self._m_patrol_reads.inc()
+                t = self._scrub_page(ppa, t)
+                budget_pages -= 1
+            else:
+                # Block fully patrolled: advance the rotating cursor.
+                self._patrol_cursor += 1
+        # -- 3. retire grown-bad blocks still holding data --------------
+        t = self._retire_failed_blocks(t, deadline_us)
+        # -- 4. degraded-mode heal (decision only; costs no media ops) --
+        ssd._maybe_heal(t)
+        return t
+
+    def _step_bound(self):
+        """Conservative per-page cost bound used for window admission.
+
+        Worst case is a full-ladder read plus a refresh: valid-page
+        migration costs a program; a retained refresh on TimeSSD
+        additionally walks and compresses a short chain.
+        """
+        ssd = self._ssd
+        timing = ssd.device.timing
+        ladder = timing.read_us * (1 + ssd.config.read_retry_limit)
+        return (
+            ladder
+            + 2 * timing.read_us
+            + timing.delta_compress_us
+            + timing.program_us
+            + 2 * timing.bus_transfer_us
+        )
+
+    def _patrol_order(self):
+        """Sealed data blocks, oldest-programmed-first (ties by PBA)."""
+        ssd = self._ssd
+        blocks = ssd.device.blocks
+        candidates = [
+            pba for pba in ssd.block_manager.sealed_blocks(BlockKind.DATA)
+        ]
+        candidates.sort(key=lambda pba: (blocks[pba].last_program_us, pba))
+        return candidates
+
+    def _rotate(self, order):
+        if not order:
+            return order
+        start = self._patrol_cursor % len(order)
+        return order[start:] + order[:start]
+
+    def _patrol_worthy(self, ppa):
+        """Skip pages a patrol read could not help: erased, torn, or
+        already compressed into the delta chain."""
+        ssd = self._ssd
+        page = ssd.device.peek_page(ppa)
+        if page.state is not PageState.PROGRAMMED:
+            return False
+        if page.oob is None or not page.oob.intact:
+            return False
+        if not ssd.block_manager.is_valid(ppa) and self._is_reclaimable(ppa):
+            return False
+        return True
+
+    def _is_reclaimable(self, ppa):
+        index = getattr(self._ssd, "index", None)
+        return index.is_reclaimable(ppa) if index is not None else False
+
+    # --- Per-page scrub ------------------------------------------------------
+
+    def _scrub_page(self, ppa, now_us, force_refresh=False):
+        """Ladder-read one page; refresh it when at/over the watermark.
+
+        ``force_refresh`` skips the watermark comparison — used for
+        queued at-risk pages, whose foreground read already crossed it.
+        """
+        ssd = self._ssd
+        page = ssd.device.peek_page(ppa)
+        if (
+            page.state is not PageState.PROGRAMMED
+            or page.oob is None
+            or not page.oob.intact
+        ):
+            return now_us
+        try:
+            result = ssd.read_page_with_retry(ppa, now_us)
+        except UncorrectableReadError:
+            # Lost despite the full ladder: nothing left to refresh.
+            # The host sees the same error if it asks; scrub only
+            # accounts it (and the patrol moves on).
+            self._m_uncorrectable.inc()
+            return now_us
+        t = result.complete_us
+        at_risk = force_refresh or (
+            result.corrected_bits >= (self._risk_bits or 1)
+        )
+        if not at_risk:
+            return t
+        if ssd.block_manager.is_valid(ppa):
+            try:
+                t = self._refresh_valid(ppa, result, t)
+                self._m_refreshed_valid.inc()
+                self._unqueue(ppa)
+                self._trace_refresh(ppa, t, kind="valid")
+            except ProgramFailureError:
+                # Media refused every copy attempt; the source page is
+                # still intact and mapped, so nothing is lost — the next
+                # pass retries after the failed block is condemned.
+                pass
+            return t
+        try:
+            t, refreshed = ssd._refresh_retained_page(ppa, t)
+        except UncorrectableReadError:
+            # The chain walk behind the refresh hit a page even the full
+            # ladder could not read.  Leave it: GC's reclaim accounts
+            # the loss when the block goes; scrub only moves on.
+            self._m_uncorrectable.inc()
+            self._unqueue(ppa)
+            return t
+        self._unqueue(ppa)
+        if refreshed:
+            self._m_refreshed_retained.inc()
+            self._trace_refresh(ppa, t, kind="retained")
+        else:
+            self._m_skipped_expired.inc()
+        return t
+
+    def _unqueue(self, ppa):
+        """Drop a just-handled page from the at-risk queue (its own
+        ladder read may have re-queued it a moment ago)."""
+        if ppa in self._at_risk_set:
+            self._at_risk_set.discard(ppa)
+            self._at_risk.remove(ppa)
+
+    @atomic_section(
+        "refresh is a one-page GC migration: program + validity flip + "
+        "remap commit together, or a competing read could land on a "
+        "mapping that moved before its copy was durable",
+        restores_state=True,  # program_with_retry leaves firmware state
+        # untouched on failure; the source page stays valid and mapped
+    )
+    def _refresh_valid(self, ppa, result, now_us):
+        """Migrate one valid page to a fresh location (same OOB)."""
+        ssd = self._ssd
+        bm = ssd.block_manager
+        new_ppa, t = ssd.program_with_retry(
+            lambda: bm.allocate_page(StreamId.GC),
+            result.data,
+            result.oob,
+            now_us,
+        )
+        bm.mark_valid(new_ppa)
+        bm.invalidate_page(ppa)
+        ssd.remap_migrated_page(result.oob, ppa, new_ppa)
+        index = getattr(ssd, "index", None)
+        if index is not None:
+            # The stale copy is a byte-identical duplicate of the
+            # migrated head — the same version, not an older one.  PRT-
+            # mark it so patrol and delta compression never mistake it
+            # for retained history (a delta record of it would be
+            # self-referential: version_ts == ref_ts).
+            index.mark_reclaimable(ppa)
+        return t
+
+    # --- Pool repair ---------------------------------------------------------
+
+    def _retire_failed_blocks(self, now_us, deadline_us):
+        """Relocate + retire grown-bad data blocks (degraded-mode repair).
+
+        A block that grew a bad page mid-write was condemned but still
+        holds valid data; until it is emptied and released it counts
+        against the pool.  Relocation ends with ``release_block``, which
+        sees ``Block.failed`` and retires it for good.
+        """
+        ssd = self._ssd
+        geo = ssd.device.geometry
+        timing = ssd.device.timing
+        block_bound = (
+            geo.pages_per_block
+            * (timing.read_us + timing.program_us + timing.delta_compress_us)
+            + timing.erase_us
+        )
+        t = now_us
+        for pba in self._failed_data_blocks():
+            if t + block_bound > deadline_us:
+                break
+            before = (ssd.program_failures, ssd.erase_failures)
+            ssd.relocate_block(pba, t)
+            if (
+                ssd.degraded_reason is not None
+                and ssd._degraded_failure_mark == before
+                and ssd.program_failures == before[0]
+            ):
+                # Retiring known-bad media raises the erase-failure
+                # counter, but it is the repair, not fresh instability:
+                # fold it into the heal mark so it does not restart the
+                # dwell.  Any *program* failure during the relocation is
+                # a new bad block and keeps gating the heal.
+                ssd._degraded_failure_mark = (
+                    before[0],
+                    ssd.erase_failures,
+                )
+            t += block_bound
+            self._m_blocks_retired.inc()
+            tr = ssd.obs.trace
+            if tr.enabled:
+                tr.emit("scrub", "retire", t, pba=pba)
+        return t
+
+    def _failed_data_blocks(self):
+        ssd = self._ssd
+        return [
+            pba
+            for pba in ssd.block_manager.sealed_blocks(BlockKind.DATA)
+            if ssd.device.blocks[pba].failed
+        ]
+
+    def _trace_refresh(self, ppa, now_us, kind):
+        tr = self._ssd.obs.trace
+        if tr.enabled:
+            tr.emit("scrub", "refresh", now_us, ppa=ppa, kind=kind)

@@ -17,14 +17,16 @@ from repro.common.errors import (
     DeviceFullError,
     EraseFailureError,
     ProgramFailureError,
+    UncorrectableReadError,
 )
-from repro.common.units import Lba, Ppa, TimeUs
+from repro.common.units import SECOND_US, Lba, Ppa, TimeUs
 from repro.flash.device import FlashDevice
 from repro.flash.geometry import FlashGeometry
 from repro.flash.page import NULL_PPA, OOBMetadata
 from repro.flash.timing import FlashTiming
 from repro.ftl.block_manager import BlockKind, BlockManager, StreamId
 from repro.ftl.mapping import AddressMappingTable
+from repro.ftl.scrub import PatrolScrubber
 from repro.ftl.wear_leveling import WearLeveler
 from repro.obs import Scope
 
@@ -62,6 +64,24 @@ class SSDConfig:
     #: Extra program attempts (remap to a fresh page) before a media
     #: program failure escapes to the host.
     program_retry_limit: int = 3
+    #: Read-retry ladder depth: extra sense attempts (shifted reference
+    #: voltages, lower effective BER, longer sense) before an
+    #: uncorrectable read escapes to the host.
+    read_retry_limit: int = 4
+    #: Background patrol scrubbing: during idle windows, patrol-read
+    #: sealed blocks oldest-first and refresh pages whose corrected-bit
+    #: counts approach the ECC budget (see docs/RELIABILITY.md).
+    patrol_scrub: bool = False
+    #: Fraction of the ECC budget at which a page counts as at-risk —
+    #: the scrub refresh watermark.
+    scrub_risk_fraction: float = 0.5
+    #: Upper bound on pages the scrubber touches per idle window (the
+    #: window's time budget also applies, whichever is tighter).
+    scrub_pages_per_run: int = 64
+    #: Sim-time the device must dwell in degraded mode with no new
+    #: media failures before the scrubber may heal it back to writable
+    #: (the anti-flap hysteresis).
+    heal_dwell_us: int = 2 * SECOND_US
     #: Record structured events in the device's trace ring (see
     #: :mod:`repro.obs`).  Off by default: metrics are always on, the
     #: event ring costs one branch per candidate event when disabled.
@@ -129,13 +149,31 @@ class BaseSSD:
         self._m_gc_runs = metrics.counter("gc.runs")
         self._m_background_gc_runs = metrics.counter("gc.background_runs")
         self._m_gc_migrated = metrics.counter("gc.pages_migrated")
+        self._m_retry_reads = metrics.counter("reliability.retry_reads")
+        self._m_retry_exhausted = metrics.counter("reliability.retry_exhausted")
+        self._m_lost_pages = metrics.counter("reliability.lost_pages")
+        self._h_retry_depth = metrics.histogram("reliability.retry_depth")
+        self._h_corrected_bits = metrics.histogram("reliability.corrected_bits")
+        self._m_degraded_entered = metrics.counter("ftl.degraded.entered")
+        self._m_degraded_healed = metrics.counter("ftl.degraded.healed")
         self.gc_runs = 0
         self.background_gc_runs = 0
         #: Media program/erase failures the firmware absorbed.
         self.program_failures = 0
         self.erase_failures = 0
+        #: LBAs whose only copy proved unreadable during a migration —
+        #: ``{lpa: ppa of the lost copy}``.  Host reads keep reporting a
+        #: media error (silent zeroes would hide the loss) until the LBA
+        #: is rewritten or trimmed, as real drives mark unrecoverable
+        #: LBAs.
+        self.lost_lpas = {}
         #: Non-None while in read-only degraded mode (the reason string).
         self.degraded_reason = None
+        self._degraded_since_us = 0
+        self._degraded_failure_mark = (0, 0)
+        #: Background patrol scrubber + refresh engine (None unless
+        #: ``patrol_scrub`` is enabled).
+        self.scrubber = PatrolScrubber(self) if self.config.patrol_scrub else None
         self._last_io_end_us = self.clock.now_us
         self._idle = IdlePredictor()
         self._gc_is_background = False
@@ -162,6 +200,7 @@ class BaseSSD:
             self._enter_degraded(exc)
             raise
         self.clock.advance_to(complete)
+        self.lost_lpas.pop(lpa, None)  # a rewrite clears the media error
         self.host_pages_written += 1
         self._m_host_writes.inc()
         response = complete - arrival
@@ -185,8 +224,10 @@ class BaseSSD:
         if ppa == NULL_PPA:
             self.read_latency.record(0)
             self._after_host_request(self.clock.now_us, wrote=False)
+            if lpa in self.lost_lpas:
+                raise UncorrectableReadError(self.lost_lpas[lpa], lost=True)
             return None, 0
-        result = self.device.read_page(ppa, start)
+        result = self.read_page_with_retry(ppa, start)
         self.clock.advance_to(result.complete_us)
         response = result.complete_us - arrival
         self.read_latency.record(response)
@@ -199,6 +240,7 @@ class BaseSSD:
         arrival = self.clock.now_us
         self._before_host_request(arrival)
         old = self.mapping.invalidate(lpa)
+        self.lost_lpas.pop(lpa, None)  # deletion clears the media error
         if old != NULL_PPA:
             self._on_invalidate(lpa, old, arrival)
         self._after_host_request(self.clock.now_us, wrote=False)
@@ -268,6 +310,7 @@ class BaseSSD:
         )
         metrics.gauge("ftl.free_blocks").set(self.block_manager.free_block_count)
         metrics.gauge("ftl.retired_blocks").set(self.block_manager.retired_blocks)
+        metrics.gauge("ftl.degraded").set(0 if self.degraded_reason is None else 1)
         metrics.gauge("sim.now_us").set(self.clock.now_us)
         timelines = self.device.timelines
         metrics.gauge("flash.busy_us_total").set(timelines.total_busy_us())
@@ -338,11 +381,70 @@ class BaseSSD:
         return None
 
     def _enter_degraded(self, reason):
+        if self.degraded_reason is None:
+            # Fresh entry: start the heal dwell clock and remember the
+            # failure counters — heal requires them to hold still.
+            self._degraded_since_us = self.clock.now_us
+            self._degraded_failure_mark = (
+                self.program_failures,
+                self.erase_failures,
+            )
+            self._m_degraded_entered.inc()
+            tr = self.obs.trace
+            if tr.enabled:
+                tr.emit(
+                    "fault",
+                    "degraded-enter",
+                    self.clock.now_us,
+                    reason=type(reason).__name__
+                    if isinstance(reason, BaseException)
+                    else "pool-health",
+                )
         self.degraded_reason = str(reason)
 
     def clear_degraded(self):
         """Leave degraded mode (the condition is re-checked on next write)."""
         self.degraded_reason = None
+
+    @atomic_section(
+        "the heal decision reads pool health, the failure counters and "
+        "the dwell clock, then flips the degraded flag in one step; a "
+        "media failure arriving mid-decision must restart the dwell, "
+        "not race the flip",
+        restores_state=True,  # the flag flip is the last firmware
+        # mutation; what follows is observability (counter + trace),
+        # whose ReproError would leave the healed state fully consistent
+    )
+    def _maybe_heal(self, now_us):
+        """Exit degraded mode once the media has proven stable.
+
+        Called by the patrol scrubber at the end of each run.  Healing
+        requires a full ``heal_dwell_us`` with no new program/erase
+        failures, a pool that retirement has not shrunk below logical
+        capacity (that condition is permanent — ``Block.failed`` is
+        media truth), and a free pool above the GC watermark.  New
+        failures restart the dwell, so a device under sustained faults
+        never flaps between writable and read-only.
+        """
+        if self.degraded_reason is None:
+            return False
+        failures = (self.program_failures, self.erase_failures)
+        if failures != self._degraded_failure_mark:
+            self._degraded_failure_mark = failures
+            self._degraded_since_us = now_us
+            return False
+        if now_us - self._degraded_since_us < self.config.heal_dwell_us:
+            return False
+        if self._pool_health_reason() is not None:
+            return False
+        if self.block_manager.free_block_count <= self.config.gc_low_watermark:
+            return False
+        self.clear_degraded()
+        self._m_degraded_healed.inc()
+        tr = self.obs.trace
+        if tr.enabled:
+            tr.emit("scrub", "degraded-healed", now_us)
+        return True
 
     # --- Write-path internals ----------------------------------------------
 
@@ -417,6 +519,41 @@ class BaseSSD:
                 self._note_program_failure(exc)
         raise last_failure
 
+    def read_page_with_retry(self, ppa: Ppa, now_us: TimeUs):
+        """Read one page through the read-retry ladder.
+
+        Step 0 is the normal read; each further step re-senses with
+        shifted reference voltages, multiplying the effective BER by the
+        model's ``retry_ber_factor`` at the cost of a longer sense.
+        :class:`UncorrectableReadError` escapes only once the ladder is
+        exhausted.  Corrected-bit counts are recorded and at-risk pages
+        (near the ECC budget) are handed to the patrol scrubber for
+        refresh.  With reliability disabled this is exactly
+        ``device.read_page`` — no extra metrics, no extra branches.
+        """
+        engine = self.device.reliability
+        if engine is None or not engine.enabled:
+            return self.device.read_page(ppa, now_us)
+        step = 0
+        limit = self.config.read_retry_limit
+        while True:
+            try:
+                result = self.device.read_page(ppa, now_us, retry_step=step)
+                break
+            except UncorrectableReadError:
+                if step >= limit:
+                    self._h_retry_depth.record(step)
+                    self._m_retry_exhausted.inc()
+                    raise
+                step += 1
+                self._m_retry_reads.inc()
+        self._h_retry_depth.record(step)
+        if result.corrected_bits:
+            self._h_corrected_bits.record(result.corrected_bits)
+        if self.scrubber is not None:
+            self.scrubber.observe_read(ppa, result.corrected_bits, step)
+        return result
+
     def _note_program_failure(self, exc):
         """Account a media program failure; condemn the block if grown bad."""
         self.program_failures += 1
@@ -475,12 +612,16 @@ class BaseSSD:
     def _use_idle_window(self, start_us, deadline_us):
         """Housekeeping inside a predicted-idle window.
 
-        The base device runs background GC; TimeSSD extends this with
-        background delta compression.  Work must stay inside the window —
-        the request arriving at ``deadline_us`` never waits on it.
+        The base device runs background GC, then patrol scrubbing;
+        TimeSSD inserts background delta compression in between.  Work
+        must stay inside the window — the request arriving at
+        ``deadline_us`` never waits on it.
         """
+        cursor = start_us
         if self.config.background_gc:
-            self._background_collect(start_us, deadline_us)
+            cursor = self._background_collect(start_us, deadline_us)
+        if self.scrubber is not None:
+            self.scrubber.run(cursor, deadline_us)
 
     def _background_collect(self, start_us, deadline_us):
         """GC rounds during idle, budgeted by an upper-bound round cost.
@@ -575,7 +716,11 @@ class BaseSSD:
         for ppa in geo.pages_of_block(pba):
             if not bm.is_valid(ppa):
                 continue
-            result = self.device.read_page(ppa, now_us)
+            try:
+                result = self.read_page_with_retry(ppa, now_us)
+            except UncorrectableReadError:
+                self.note_lost_valid_page(ppa)
+                continue
             new_ppa, _complete = self.program_with_retry(
                 lambda: bm.allocate_page(StreamId.GC),
                 result.data,
@@ -588,6 +733,36 @@ class BaseSSD:
             migrated += 1
         self._m_gc_migrated.inc(migrated)
         return migrated
+
+    def note_lost_valid_page(self, ppa):
+        """A migration found a valid page unreadable through the full
+        retry ladder: the current version is lost.
+
+        The mapping is dropped and the LBA remembered in ``lost_lpas``
+        so host reads surface the loss as a media error instead of
+        silently answering "never written"; the next rewrite or TRIM of
+        the LBA clears it.  The block's reclaim then proceeds — the
+        unreadable copy is garbage either way.
+        """
+        page = self.device.peek_page(ppa)
+        lpa = page.oob.lpa if page.oob is not None else None
+        self.block_manager.invalidate_page(ppa)
+        if lpa is not None and self.mapping.lookup(lpa) == ppa:
+            self.mapping.invalidate(lpa)
+            self.lost_lpas[lpa] = ppa
+        self._m_lost_pages.inc()
+
+    def _refresh_retained_page(self, ppa, now_us):
+        """Refresh hook for invalid-but-meaningful pages.
+
+        The base device retains nothing — a stale page is garbage and
+        ages out with its block — so this is a no-op.  TimeSSD overrides
+        it: a retained old version is compressed into the delta chain
+        (which preserves its timestamp and version chain), and a
+        retention-expired page is marked reclaimable instead of
+        refreshed.  Returns ``(complete_us, refreshed)``.
+        """
+        return now_us, False
 
     def remap_migrated_page(self, oob, old_ppa: Ppa, new_ppa: Ppa):
         """Point the mapping at the migrated copy (no invalidation hook).
@@ -643,6 +818,14 @@ class BaseSSD:
             self, config.wear_check_interval, config.wear_gap_threshold
         )
         self.degraded_reason = None
+        self._degraded_since_us = self.clock.now_us
+        self._degraded_failure_mark = (
+            self.program_failures,
+            self.erase_failures,
+        )
+        if self.scrubber is not None:
+            # Scrub bookkeeping (at-risk queue, patrol cursor) is RAM.
+            self.scrubber = PatrolScrubber(self)
         self._last_io_end_us = self.clock.now_us
         self._idle = IdlePredictor()
         self._gc_is_background = False

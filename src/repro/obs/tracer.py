@@ -19,8 +19,9 @@ from repro.common.units import TimeUs
 
 __all__ = ["CATEGORIES", "EventTracer"]
 
-#: The closed set of event categories (ISSUE 4 tentpole).
-CATEGORIES = ("flash-op", "gc", "delta", "expire", "fault", "nvme")
+#: The closed set of event categories (ISSUE 4 tentpole; "scrub" added
+#: with the patrol scrubber in ISSUE 7).
+CATEGORIES = ("flash-op", "gc", "delta", "expire", "fault", "nvme", "scrub")
 
 _CATEGORY_SET = frozenset(CATEGORIES)
 

@@ -19,7 +19,7 @@ prescribes.
 from dataclasses import dataclass
 
 from repro.common.atomic import atomic_section
-from repro.common.errors import EraseFailureError
+from repro.common.errors import EraseFailureError, UncorrectableReadError
 from repro.flash.page import NULL_PPA, PageState
 from repro.ftl.block_manager import BlockKind, StreamId
 from repro.timessd.delta import NO_REF_TS, DeltaRecord
@@ -78,8 +78,11 @@ class TimeSSDGarbageCollector:
                 outcome.discarded_garbage += 1
                 continue
             if bm.is_valid(ppa):
-                t = self._migrate_valid_page(ppa, t)
-                outcome.migrated_valid += 1
+                try:
+                    t = self._migrate_valid_page(ppa, t)
+                    outcome.migrated_valid += 1
+                except UncorrectableReadError:
+                    ssd.note_lost_valid_page(ppa)
             elif index.is_reclaimable(ppa):
                 outcome.discarded_reclaimable += 1
             elif ssd.blooms.find_segment(ppa) is None:
@@ -88,8 +91,17 @@ class TimeSSDGarbageCollector:
                 ssd._m_expired.inc()
                 ssd.note_page_no_longer_retained(ppa)
             else:
-                t, compressed = self.compress_version_chain(ppa, t)
-                outcome.compressed += compressed
+                try:
+                    t, compressed = self.compress_version_chain(ppa, t)
+                    outcome.compressed += compressed
+                except UncorrectableReadError:
+                    # Some page of the chain is gone despite the full
+                    # ladder.  The block must still be reclaimed, so
+                    # the version is lost: account it and let the erase
+                    # proceed.
+                    index.mark_reclaimable(ppa)
+                    ssd.note_page_no_longer_retained(ppa)
+                    ssd._m_compress_lost.inc()
         erased = True
         try:
             t = ssd.device.erase_block(victim_pba, t)
@@ -120,7 +132,7 @@ class TimeSSDGarbageCollector:
 
     def _migrate_valid_page(self, ppa, now_us):
         ssd = self._ssd
-        result = ssd.device.read_page(ppa, now_us)
+        result = ssd.read_page_with_retry(ppa, now_us)
         new_ppa, t = ssd.program_with_retry(
             lambda: ssd.block_manager.allocate_page(StreamId.GC),
             result.data,
@@ -157,7 +169,7 @@ class TimeSSDGarbageCollector:
         index = ssd.index
         t = now_us
 
-        head = device.read_page(ppa, t)
+        head = ssd.read_page_with_retry(ppa, t)
         t = head.complete_us
         lpa = head.oob.lpa
 
@@ -173,6 +185,14 @@ class TimeSSDGarbageCollector:
         previous_head = index.prune_dropped_head(lpa)
         records = []
         for src_ppa, oob, data in chain:
+            if oob.timestamp_us == ref_ts:
+                # A refresh-migration duplicate of the reference head:
+                # the same version, already retrievable as the current
+                # data page.  A delta record for it would reference
+                # itself (version_ts == ref_ts) and become unresolvable
+                # once the data pages are reclaimed — drop the page,
+                # keep no record.
+                continue
             if compressing:
                 payload, size = ssd.deltas.codec.compress(data, ref_data)
                 device.counters.delta_compressions += 1
@@ -224,10 +244,11 @@ class TimeSSDGarbageCollector:
                 j += 1
         merged.extend(records[i:])
         merged.extend(previous[j:])
-        for newer, older in zip(merged, merged[1:]):
-            newer.back = older
-        merged[-1].back = tail
-        index.set_delta_head(lpa, merged[0])
+        if merged:  # empty when the whole chain was head duplicates
+            for newer, older in zip(merged, merged[1:]):
+                newer.back = older
+            merged[-1].back = tail
+            index.set_delta_head(lpa, merged[0])
         for record in records:
             t = ssd.deltas.add_record(record, t)
         for src_ppa, _oob, _data in chain:
@@ -252,7 +273,7 @@ class TimeSSDGarbageCollector:
         while back != NULL_PPA and index._page_holds_version(back, lpa, prev_ts):
             if index.is_reclaimable(back):
                 break  # older suffix already lives in the delta chain
-            result = ssd.device.read_page(back, t)
+            result = ssd.read_page_with_retry(back, t)
             t = result.complete_us
             if ssd.blooms.find_segment(back) is None:
                 if index.mark_reclaimable(back):
@@ -270,5 +291,5 @@ class TimeSSDGarbageCollector:
         head_ppa = ssd.mapping.lookup(lpa)
         if head_ppa == NULL_PPA:
             return None, NO_REF_TS, now_us
-        result = ssd.device.read_page(head_ppa, now_us)
+        result = ssd.read_page_with_retry(head_ppa, now_us)
         return result.data, result.oob.timestamp_us, result.complete_us

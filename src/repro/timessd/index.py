@@ -47,9 +47,14 @@ class ChainWalk:
 class TimeTravelIndex:
     """IMT + PRT + chain-walking over a flash device."""
 
-    def __init__(self, device):
+    def __init__(self, device, reader=None):
         self._device = device
         self._geo = device.geometry
+        #: Page-read entry point for chain walks.  The owning SSD passes
+        #: its read-retry ladder so time-travel queries get the same
+        #: media defenses as host reads; standalone/recovery use of the
+        #: index reads the device directly.
+        self._read = reader if reader is not None else device.read_page
         self._imt = {}
         self._reclaimable = set()
 
@@ -133,7 +138,7 @@ class TimeTravelIndex:
             return ChainWalk(entries, t)
         if self._device.peek_page(head_ppa).state is not PageState.PROGRAMMED:
             return ChainWalk(entries, t)
-        result = self._device.read_page(head_ppa, t)
+        result = self._read(head_ppa, t)
         t = result.complete_us
         if result.oob.lpa != lpa or not result.oob.intact:
             return ChainWalk(entries, t)
@@ -144,7 +149,7 @@ class TimeTravelIndex:
         prev_ts = result.oob.timestamp_us
         ppa = result.oob.back_pointer
         while ppa != NULL_PPA and self._page_holds_version(ppa, lpa, prev_ts):
-            result = self._device.read_page(ppa, t)
+            result = self._read(ppa, t)
             t = result.complete_us
             entries.append((ppa, result.oob, result.data))
             prev_ts = result.oob.timestamp_us
@@ -172,7 +177,7 @@ class TimeTravelIndex:
             if record.dropped:
                 break
             if record.flash_ppa is not None and record.flash_ppa not in pages_read:
-                result = self._device.read_page(record.flash_ppa, t)
+                result = self._read(record.flash_ppa, t)
                 t = result.complete_us
                 pages_read.add(record.flash_ppa)
             entries.append(record)

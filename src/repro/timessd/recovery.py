@@ -180,7 +180,17 @@ def rebuild_from_flash(ssd):
     retained = 0
     reclaimable = 0
     for ppa, lpa, ts in user_pages:
-        if heads.get(lpa, (None, None))[1] == ppa:
+        head = heads.get(lpa, (None, None))
+        if head[1] == ppa:
+            continue
+        if ts == head[0]:
+            # Byte-identical duplicate of the mapped head, left behind by
+            # a scrub/GC refresh migration the cut interrupted between
+            # the new copy's program and the (volatile) PRT mark.  It is
+            # the *same* version, not an older one — retaining it would
+            # later compress into a self-referential delta record.
+            ssd.index.mark_reclaimable(ppa)
+            reclaimable += 1
             continue
         if (lpa, ts) in delta_identities:
             # Already preserved as a delta: the data page is redundant.

@@ -17,6 +17,7 @@ from repro.common.errors import (
     QueryError,
     ReproError,
     RetentionViolationError,
+    UncorrectableReadError,
 )
 from repro.common.units import Lba, Ppa, TimeUs, format_duration
 from repro.flash.page import NULL_PPA, PageState
@@ -49,7 +50,7 @@ class TimeSSD(BaseSSD):
             seed=config.seed,
             max_segment_age_us=config.bloom_segment_max_age_us,
         )
-        self.index = TimeTravelIndex(self.device)
+        self.index = TimeTravelIndex(self.device, reader=self.read_page_with_retry)
         page_size = config.geometry.page_size
         if config.content_mode is ContentMode.REAL:
             codec = RealDeltaCodec(page_size)
@@ -90,6 +91,7 @@ class TimeSSD(BaseSSD):
         metrics = self.obs.metrics
         self._m_shrinks = metrics.counter("timessd.retention.shrinks")
         self._m_expired = metrics.counter("timessd.expire.pages")
+        self._m_compress_lost = metrics.counter("timessd.compress.lost_versions")
         self._m_delta_compressions = metrics.counter("timessd.delta.compressions")
         self._m_delta_flushed = metrics.counter("timessd.delta.flushed_pages")
         self._h_query_chain = metrics.histogram("timessd.chain.length")
@@ -164,12 +166,14 @@ class TimeSSD(BaseSSD):
                     break
 
     def _use_idle_window(self, start_us, deadline_us):
-        """Idle housekeeping: background GC first, then delta compression."""
+        """Idle housekeeping: background GC, delta compression, scrub."""
         cursor = start_us
         if self.config.background_gc:
             cursor = self._background_collect(start_us, deadline_us)
         if self.config.background_compression and self.config.delta_compression:
-            self._background_compress(cursor, deadline_us)
+            cursor = self._background_compress(cursor, deadline_us)
+        if self.scrubber is not None:
+            self.scrubber.run(cursor, deadline_us)
 
     # --- Garbage collection ----------------------------------------------------
 
@@ -314,7 +318,7 @@ class TimeSSD(BaseSSD):
         :func:`repro.timessd.recovery.rebuild_from_flash`.
         """
         super().reset_volatile()
-        self.index = TimeTravelIndex(self.device)
+        self.index = TimeTravelIndex(self.device, reader=self.read_page_with_retry)
         self.blooms.reset()
         self.deltas.reset()
         self.estimator = GCOverheadEstimator(
@@ -368,9 +372,16 @@ class TimeSSD(BaseSSD):
         for pba in self._background_victims():
             for ppa in self.device.geometry.pages_of_block(pba):
                 if t + step_bound > deadline_us:
-                    return
+                    return t
                 page = self.device.peek_page(ppa)
                 if page.state is not PageState.PROGRAMMED:
+                    continue
+                if page.oob is None or not page.oob.intact:
+                    # Torn or burned residue of a crash-interrupted
+                    # program: no committed version lives here, and the
+                    # conservative recovery bloom answers "retained" for
+                    # it — compressing it would forge a version from a
+                    # timestamp that never committed.
                     continue
                 if self.block_manager.is_valid(ppa) or self.index.is_reclaimable(ppa):
                     continue
@@ -379,8 +390,50 @@ class TimeSSD(BaseSSD):
                         self._m_expired.inc()
                         self.note_page_no_longer_retained(ppa)
                     continue
-                t, compressed = self.collector.compress_version_chain(ppa, t)
+                try:
+                    t, compressed = self.collector.compress_version_chain(
+                        ppa, t
+                    )
+                except UncorrectableReadError:
+                    # A chain page is gone despite the full ladder: the
+                    # version cannot be compressed, and retrying every
+                    # idle window is pointless.  Drop it and account the
+                    # loss, exactly as GC's reclaim would.
+                    self.index.mark_reclaimable(ppa)
+                    self.note_page_no_longer_retained(ppa)
+                    self._m_compress_lost.inc()
+                    continue
                 self.background_compressed += compressed
+        return t
+
+    @atomic_section(
+        "expiry marking or chain compression of a retained page must "
+        "commit as one step with the census it updates — the same unit "
+        "GC's per-page dispatch commits in reclaim_block",
+        restores_state=True,  # compress_version_chain links deltas
+        # before marking sources reclaimable; a mid-step failure leaves
+        # every version retrievable from its original flash page
+    )
+    def _refresh_retained_page(self, ppa, now_us):
+        """Scrub refresh of an invalid-but-retained page.
+
+        A retained old version cannot simply be copied: its back-pointer
+        chain would still reference the aging flash page.  Instead it is
+        compressed into the LPA's delta chain — the same path GC uses —
+        which preserves the version timestamp and chain linkage while
+        moving the payload onto freshly-programmed delta pages.
+        Retention-expired pages are not worth rescuing: they are marked
+        reclaimable so GC discards them without another read.
+        """
+        if self.index.is_reclaimable(ppa):
+            return now_us, False  # already lives in the delta chain
+        if self.blooms.find_segment(ppa) is None:
+            if self.index.mark_reclaimable(ppa):
+                self._m_expired.inc()
+                self.note_page_no_longer_retained(ppa)
+            return now_us, False
+        t, compressed = self.collector.compress_version_chain(ppa, now_us)
+        return t, compressed > 0
 
     def _background_victims(self, limit=None):
         """Sealed data blocks richest in retained, uncompressed pages."""

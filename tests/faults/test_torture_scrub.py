@@ -1,0 +1,132 @@
+"""Crash-point torture with aging + patrol scrub enabled (ISSUE 7).
+
+The scrub preset turns on the time-aware error model and the patrol
+scrubber, so the enumerated crash points also land inside patrol reads,
+read-retry ladders and scrub refresh migrations.  The contract under
+test: a power cut mid-refresh never loses the at-risk page's only
+intact copy — either the old copy is still committed, or the new copy
+is, and recovery finds whichever one is.
+"""
+
+from repro.common.errors import PowerCutError
+from repro.faults.plan import FaultPlan
+from repro.faults.torture import (
+    _build_ssd,
+    _replay,
+    build_workload,
+    run_crash_point,
+    run_torture,
+    scrub_preset,
+)
+from repro.timessd.recovery import rebuild_from_flash, simulate_power_loss
+from repro.timessd.verify import DeviceAuditor
+
+
+class TestScrubSweep:
+    def test_smoke_sweep_recovers_and_actually_scrubbed(self):
+        report = run_torture(scrub_preset(ops=100, crash_every=31))
+        assert report.ok, "\n".join(report.summary_lines())
+        # The sweep is only meaningful if scrub work really happened:
+        # patrol reads and refresh migrations are flash ops, so crash
+        # points landed inside them.
+        assert report.scrub_patrol_reads > 0
+        assert report.scrub_refreshes > 0
+        assert any("scrub coverage" in line for line in report.summary_lines())
+
+    def test_torn_cut_with_idle_windows_recovers(self):
+        """Pinned regression: cut 57 of the default scrub preset tears a
+        host program and leaves the torn page on flash; the wide idle
+        windows then run background compression after recovery, which
+        once compressed the torn residue into a forged version."""
+        outcome = run_crash_point(scrub_preset(), cut_at=57)
+        assert outcome.ok, outcome.problems
+        assert outcome.torn_pages == 1
+
+
+def _discover_refresh_ops(config, attr):
+    """Flash-op indices at which the clean run enters a refresh step.
+
+    Spies on the scrubber hook named ``attr`` and records the fault
+    plan's op counter at entry: the next flash op is the refresh's first
+    media operation, so ``index + 1`` is a mid-refresh crash point.
+    """
+    workload = build_workload(config)
+    plan = FaultPlan(seed=config.seed)
+    ssd = _build_ssd(config, plan)
+    marks = []
+    target = ssd.scrubber if attr == "_refresh_valid" else ssd
+    original = getattr(target, attr)
+
+    def spy(*args, **kwargs):
+        marks.append(plan.ops_seen)
+        return original(*args, **kwargs)
+
+    setattr(target, attr, spy)
+    _replay(ssd, workload, config.gap_us)
+    return marks
+
+
+class TestCutInsideRefresh:
+    CONFIG = scrub_preset()
+
+    def _check_cuts(self, marks):
+        assert marks, "the clean run never refreshed anything"
+        workload = build_workload(self.CONFIG)
+        for mark in marks[:4]:
+            outcome = run_crash_point(self.CONFIG, mark + 1, workload)
+            assert outcome.ok, (mark, outcome.problems)
+
+    def test_cut_inside_valid_page_refresh_migration(self):
+        self._check_cuts(_discover_refresh_ops(self.CONFIG, "_refresh_valid"))
+
+    def test_cut_inside_retained_version_refresh(self):
+        self._check_cuts(
+            _discover_refresh_ops(self.CONFIG, "_refresh_retained_page")
+        )
+
+
+class TestRefreshDuplicateRecovery:
+    """A cut between the refresh program and the (volatile) PRT mark
+    leaves two intact copies with the same (LPA, timestamp) on flash."""
+
+    def _ssd_with_duplicate(self):
+        config = scrub_preset()
+        plan = FaultPlan(seed=config.seed)
+        ssd = _build_ssd(config, plan)
+        payload = (b"dup-victim").ljust(ssd.device.geometry.page_size, b"\xEE")
+        try:
+            ssd.write(5, payload)
+        except PowerCutError:  # pragma: no cover - no fault armed
+            raise
+        head = ssd.mapping.lookup(5)
+        # Force a refresh migration of the live head, then erase the
+        # volatile PRT mark as a crash would.
+        ssd.scrubber._scrub_page(head, ssd.clock.now_us, force_refresh=True)
+        new_head = ssd.mapping.lookup(5)
+        assert new_head != head
+        ts = ssd.device.peek_page(head).oob.timestamp_us
+        assert ssd.device.peek_page(new_head).oob.timestamp_us == ts
+        return ssd, payload, ts, (head, new_head)
+
+    def test_rebuild_marks_the_duplicate_reclaimable(self):
+        ssd, payload, ts, copies = self._ssd_with_duplicate()
+        simulate_power_loss(ssd)
+        rebuild_from_flash(ssd)
+        mapped = ssd.mapping.lookup(5)
+        assert mapped in copies
+        other = copies[0] if mapped == copies[1] else copies[1]
+        # The losing copy is the same version, not retained history.
+        assert ssd.index.is_reclaimable(other)
+        assert ssd.read(5)[0] == payload
+        versions, _ = ssd.version_chain(5)
+        assert [v.timestamp_us for v in versions] == [ts]
+        assert not DeviceAuditor(ssd).audit().violations
+
+    def test_rebuild_is_deterministic_about_the_winner(self):
+        first = []
+        for _ in range(2):
+            ssd, _payload, _ts, _copies = self._ssd_with_duplicate()
+            simulate_power_loss(ssd)
+            rebuild_from_flash(ssd)
+            first.append(ssd.mapping.lookup(5))
+        assert first[0] == first[1]
