@@ -278,6 +278,18 @@ POLICIES = (
         ),
     ),
     SharedStatePolicy(
+        owner="repro.timessd.delta.DeltaCodec",
+        attr="*",
+        policy="monotonic",
+        why=(
+            "the compression memo is a pure cache: compress() is a pure "
+            "function of its two byte-string arguments, so any "
+            "interleaving of lookups, insertions and LRU evictions "
+            "(plus the hit/miss counters) yields the same results — a "
+            "lost update costs one recomputation, never a wrong answer"
+        ),
+    ),
+    SharedStatePolicy(
         owner="repro.timessd.delta.DeltaManager",
         attr="*",
         policy="turnstile",

@@ -77,7 +77,16 @@ CONTRACTS = (
             "recovery/rebuild paths must be RNG-free: crash recovery has "
             "to reconstruct the identical FTL state on every replay"
         ),
-        roots=("repro.ftl.recovery.", "repro.timessd.recovery."),
+        # The checkpoint *writer* (repro.ftl.checkpoint.CheckpointWriter)
+        # is deliberately absent: it runs from the host path and programs
+        # real pages, which legitimately crosses fault hooks and the
+        # reliability model.  Its recovery-side loaders are covered
+        # transitively through recovery_scan.sweep_oob.
+        roots=(
+            "repro.ftl.recovery.",
+            "repro.ftl.recovery_scan.",
+            "repro.timessd.recovery.",
+        ),
         effect="consumes-rng",
     ),
     ReachContract(

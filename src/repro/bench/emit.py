@@ -1,4 +1,4 @@
-"""Machine-readable metrics snapshots: BENCH_pr7.json and the CLI demo.
+"""Machine-readable metrics snapshots: BENCH_pr8.json and the CLI demo.
 
 The bench smoke workload replays the same seeded churn on both devices
 and serializes their :meth:`~repro.ftl.ssd.BaseSSD.metrics_snapshot`
@@ -24,7 +24,7 @@ from repro.timessd.ssd import TimeSSD
 #: Schema tag: bump only when the JSON layout changes incompatibly.
 SCHEMA = "almanac-metrics/1"
 
-BENCH_FILE = "BENCH_pr7.json"
+BENCH_FILE = "BENCH_pr8.json"
 
 #: A fresh run slower than this fraction of the committed ops/sec fails
 #: ``check_bench_snapshot`` (>20% regression, per-run jitter allowed).
@@ -240,7 +240,7 @@ def to_canonical_json(result, indent=2):
 
 
 def write_bench_json(path=None, seed=1, writes=1500):
-    """Emit ``BENCH_pr7.json``; returns the path written."""
+    """Emit ``BENCH_pr8.json``; returns the path written."""
     path = path or BENCH_FILE
     result, harness = _timed_smoke(seed, writes)
     result["harness"] = harness

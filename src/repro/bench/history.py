@@ -1,0 +1,195 @@
+"""Cross-PR bench trajectory: diff every committed ``BENCH_pr*.json``.
+
+Each PR commits one metrics snapshot (:mod:`repro.bench.emit`).  Because
+the deterministic payload is byte-stable per seed, the sequence of
+committed files *is* the project's performance history: any simulator
+behaviour change shows up as a payload diff between consecutive PRs, and
+the ``harness`` section records the (non-deterministic) wall-clock
+throughput of the run that produced each file.
+
+``repro metrics --history`` renders the trajectory table and the
+payload diffs; CI uploads the table as an artifact so a reviewer can see
+at a glance which PR moved which counter.
+"""
+
+import json
+import os
+import re
+
+from repro.bench.emit import deterministic_payload
+
+#: Matches committed snapshot files; group 1 is the PR number.
+BENCH_PATTERN = re.compile(r"^BENCH_pr(\d+)\.json$")
+
+
+def find_bench_files(root="."):
+    """All ``BENCH_pr*.json`` under ``root``, ordered by PR number.
+
+    Returns a list of ``(pr_number, path)`` tuples.
+    """
+    found = []
+    for name in os.listdir(root):
+        match = BENCH_PATTERN.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(root, name)))
+    found.sort()
+    return found
+
+
+def load_history(root="."):
+    """Parse every committed snapshot; returns ``[(pr, path, data)]``.
+
+    Unreadable or non-JSON files are reported as a ``(pr, path, None)``
+    entry rather than raised, so one corrupt snapshot does not hide the
+    rest of the trajectory.
+    """
+    out = []
+    for pr, path in find_bench_files(root):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                out.append((pr, path, json.load(fh)))
+        except (OSError, ValueError):
+            out.append((pr, path, None))
+    return out
+
+
+def _summary_row(pr, data):
+    """One table row: throughput plus the headline per-device figures."""
+    if data is None:
+        return {"pr": pr, "error": "unreadable"}
+    harness = data.get("harness") or {}
+    row = {
+        "pr": pr,
+        "schema": data.get("schema"),
+        "ops_per_sec": harness.get("ops_per_sec"),
+        "elapsed_s": harness.get("elapsed_s"),
+    }
+    for kind, payload in sorted((data.get("devices") or {}).items()):
+        summary = payload.get("summary") or {}
+        row["%s_wa" % kind] = summary.get("write_amplification")
+        row["%s_p99_write_us" % kind] = summary.get("p99_write_us")
+        row["%s_gc_runs" % kind] = summary.get("gc_runs")
+    return row
+
+
+def _flatten(value, prefix=""):
+    """Flatten a JSON tree into sorted ``path -> leaf`` pairs."""
+    if isinstance(value, dict):
+        out = {}
+        for key in sorted(value):
+            out.update(_flatten(value[key], "%s%s." % (prefix, key)))
+        return out
+    if isinstance(value, list):
+        out = {}
+        for index, item in enumerate(value):
+            out.update(_flatten(item, "%s%d." % (prefix, index)))
+        return out
+    return {prefix[:-1]: value}
+
+
+def diff_payloads(older, newer, limit=12):
+    """Leaf-level differences between two deterministic payloads.
+
+    Returns a list of ``(path, old_value, new_value)`` tuples, at most
+    ``limit`` of them (the count of suppressed entries is appended as a
+    final ``("... N more", None, None)`` marker).  Missing leaves show
+    as ``None`` on the absent side.
+    """
+    flat_old = _flatten(deterministic_payload(older))
+    flat_new = _flatten(deterministic_payload(newer))
+    changed = []
+    for path in sorted(set(flat_old) | set(flat_new)):
+        old_value = flat_old.get(path)
+        new_value = flat_new.get(path)
+        if old_value != new_value:
+            changed.append((path, old_value, new_value))
+    if len(changed) > limit:
+        suppressed = len(changed) - limit
+        changed = changed[:limit]
+        changed.append(("... %d more leaves differ" % suppressed, None, None))
+    return changed
+
+
+def trajectory(root="."):
+    """The full history report as a plain dict (JSON-serializable).
+
+    ``rows`` holds one summary row per PR; ``diffs`` holds, for each
+    consecutive pair of readable snapshots, the deterministic-payload
+    leaf diff (empty list == behaviour-identical PRs).
+    """
+    history = load_history(root)
+    rows = [_summary_row(pr, data) for pr, _path, data in history]
+    diffs = []
+    readable = [(pr, data) for pr, _path, data in history if data is not None]
+    for (old_pr, old_data), (new_pr, new_data) in zip(readable, readable[1:]):
+        diffs.append(
+            {
+                "from_pr": old_pr,
+                "to_pr": new_pr,
+                "changes": [
+                    {"path": path, "old": old_value, "new": new_value}
+                    for path, old_value, new_value in diff_payloads(
+                        old_data, new_data
+                    )
+                ],
+            }
+        )
+    return {"rows": rows, "diffs": diffs}
+
+
+def _format_cell(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "%g" % value
+    return str(value)
+
+
+def render_table(report):
+    """Render :func:`trajectory` output as an aligned text table."""
+    rows = report["rows"]
+    if not rows:
+        return "no BENCH_pr*.json snapshots found\n"
+    columns = ["pr", "ops_per_sec", "elapsed_s"]
+    extra = sorted(
+        {key for row in rows for key in row}
+        - {"pr", "ops_per_sec", "elapsed_s", "schema", "error"}
+    )
+    columns += extra
+    table = [columns]
+    for row in rows:
+        if "error" in row:
+            table.append([str(row["pr"]), row["error"]] + [""] * (len(columns) - 2))
+            continue
+        table.append([_format_cell(row.get(col)) for col in columns])
+    widths = [
+        max(len(line[i]) if i < len(line) else 0 for line in table)
+        for i in range(len(columns))
+    ]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths)).rstrip()
+        for line in table
+    ]
+    out = ["bench trajectory (%d snapshots):" % len(rows), ""]
+    out += lines
+    for diff in report["diffs"]:
+        out.append("")
+        changes = diff["changes"]
+        header = "pr%d -> pr%d: " % (diff["from_pr"], diff["to_pr"])
+        if not changes:
+            out.append(header + "deterministic payload identical")
+            continue
+        out.append(header + "%d payload leaves changed" % len(changes))
+        for change in changes:
+            if change["old"] is None and change["new"] is None:
+                out.append("  %s" % change["path"])
+            else:
+                out.append(
+                    "  %s: %s -> %s"
+                    % (
+                        change["path"],
+                        _format_cell(change["old"]),
+                        _format_cell(change["new"]),
+                    )
+                )
+    return "\n".join(out) + "\n"

@@ -217,6 +217,7 @@ def _cmd_torture(args):
         crash_every=args.crash_every,
         torn=not args.no_torn,
         seed=args.seed,
+        checkpoint_interval_blocks=args.checkpoint_every,
     )
     if args.ops is not None:
         overrides["ops"] = args.ops
@@ -263,6 +264,17 @@ def _cmd_lint(args):
 def _cmd_metrics(args):
     from repro.bench import emit
 
+    if args.history:
+        from repro.bench import history
+
+        rendered = history.render_table(history.trajectory())
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(rendered)
+            print("wrote %s" % args.out)
+        else:
+            print(rendered, end="")
+        return 0
     if args.bench and args.check:
         problems = emit.check_bench_snapshot(path=args.out)
         for problem in problems:
@@ -401,6 +413,14 @@ def build_parser():
         metavar="K",
         help="cut at every K-th flash op (default 1 = exhaustive)",
     )
+    torture.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="BLOCKS",
+        help="write recovery checkpoints every BLOCKS blocks of programs: "
+        "crash points then also land mid-checkpoint (default off)",
+    )
     torture.add_argument("--seed", type=lambda s: int(s, 0), default=0x70B7)
     torture.add_argument(
         "--no-torn",
@@ -421,7 +441,13 @@ def build_parser():
         "--bench",
         action="store_true",
         help="run the bench smoke workload on both devices and write %s"
-        % "BENCH_pr7.json",
+        % "BENCH_pr8.json",
+    )
+    metrics.add_argument(
+        "--history",
+        action="store_true",
+        help="diff every committed BENCH_pr*.json and print the cross-PR "
+        "perf trajectory table",
     )
     metrics.add_argument(
         "--check",

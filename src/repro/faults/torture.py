@@ -73,6 +73,12 @@ class TortureConfig:
     #: only runs in predicted-idle windows, so the host gap must exceed
     #: the idle threshold.
     scrub: bool = False
+    #: Write recovery checkpoints every this many blocks' worth of page
+    #: programs (None = off).  With it on, the enumerated crash points
+    #: also land inside checkpoint part/root programs and the
+    #: superseded-block erases — proving a cut mid-checkpoint always
+    #: falls back to a consistent (possibly older) image.
+    checkpoint_interval_blocks: int = None
     #: ECC budget of the scrub-torture device — small, so aging pressure
     #: (and refresh work) is visible within the short replay.
     scrub_ecc_bits: int = 8
@@ -212,6 +218,7 @@ def _build_ssd(config, plan):
             bloom_segment_max_age_us=SECOND_US // 2,
             content_mode=ContentMode.REAL,
             faults=FaultHooks(plan),
+            checkpoint_interval_blocks=config.checkpoint_interval_blocks,
             **extras,
         )
     )

@@ -1,95 +1,127 @@
 """Flash blocks: the erase unit.
 
-NAND constraints enforced here:
+NAND constraints (enforced by the columnar core, one layer down):
 
 * a page may only be programmed when erased;
 * pages within a block must be programmed sequentially (real NAND forbids
   out-of-order programming within a block);
 * erase resets every page and increments the block's wear counter.
+
+Since the columnar refactor a ``Block`` is a thin view over the owning
+device's :class:`~repro.flash.core.ColumnarFlashArray`.  A ``Block``
+constructed standalone (``Block(pba, pages_per_block)``) gets a private
+single-block core, so unit tests and tooling keep the old constructor.
 """
 
-from repro.common.errors import FlashStateError
-from repro.flash.page import Page, PageState
+from repro.flash.core import ColumnarFlashArray
+from repro.flash.page import Page
+
+
+class _BlockPages:
+    """Sequence view of one block's pages (lazy ``Page`` handles)."""
+
+    __slots__ = ("_core", "_base", "_n")
+
+    def __init__(self, core, base, n):
+        self._core = core
+        self._base = base
+        self._n = n
+
+    def __len__(self):
+        return self._n
+
+    def __getitem__(self, offset):
+        if offset < 0:
+            offset += self._n
+        if not 0 <= offset < self._n:
+            raise IndexError(offset)
+        return Page(self._core, self._base + offset)
+
+    def __iter__(self):
+        core, base = self._core, self._base
+        return (Page(core, base + i) for i in range(self._n))
 
 
 class Block:
     """One erase block holding ``pages_per_block`` pages."""
 
-    __slots__ = (
-        "pba",
-        "pages",
-        "erase_count",
-        "_write_pointer",
-        "last_program_us",
-        "reads_since_erase",
-        "failed",
-    )
+    __slots__ = ("pba", "_core", "_idx", "pages")
 
-    def __init__(self, pba, pages_per_block):
+    def __init__(self, pba, pages_per_block, core=None, index=None):
         self.pba = pba
-        self.pages = [Page() for _ in range(pages_per_block)]
-        self.erase_count = 0
-        self._write_pointer = 0
-        #: When the block last received a program (cost-benefit GC "age").
-        self.last_program_us = 0
-        #: Sense operations since the last erase — the read-disturb
-        #: accumulator.  Erase resets the cells and the disturb damage.
-        self.reads_since_erase = 0
-        #: Grown bad block: programs and erases fail permanently.  This is
-        #: media truth — it survives power loss, unlike firmware tables.
-        self.failed = False
+        if core is None:
+            core = ColumnarFlashArray(1, pages_per_block)
+            index = 0
+        self._core = core
+        self._idx = index
+        self.pages = _BlockPages(core, index * pages_per_block, pages_per_block)
+
+    # --- Per-block columns, exposed as the old attributes ----------------
+
+    @property
+    def erase_count(self):
+        return self._core.erase_count[self._idx]
+
+    @erase_count.setter
+    def erase_count(self, value):
+        self._core.erase_count[self._idx] = value
+
+    @property
+    def last_program_us(self):
+        """When the block last received a program (cost-benefit GC "age")."""
+        return self._core.last_program_us[self._idx]
+
+    @last_program_us.setter
+    def last_program_us(self, value):
+        self._core.last_program_us[self._idx] = value
+
+    @property
+    def reads_since_erase(self):
+        """Sense operations since the last erase — the read-disturb
+        accumulator.  Erase resets the cells and the disturb damage."""
+        return self._core.reads_since_erase[self._idx]
+
+    @reads_since_erase.setter
+    def reads_since_erase(self, value):
+        self._core.reads_since_erase[self._idx] = value
+
+    @property
+    def failed(self):
+        """Grown bad block: programs and erases fail permanently.  This is
+        media truth — it survives power loss, unlike firmware tables."""
+        return bool(self._core.failed[self._idx])
+
+    @failed.setter
+    def failed(self, value):
+        self._core.failed[self._idx] = 1 if value else 0
 
     @property
     def write_pointer(self):
         """Index of the next programmable page in this block."""
-        return self._write_pointer
+        return self._core.write_pointer[self._idx]
 
     @property
     def is_full(self):
-        return self._write_pointer >= len(self.pages)
+        return self._core.write_pointer[self._idx] >= len(self.pages)
 
     @property
     def is_erased(self):
-        return self._write_pointer == 0
+        return self._core.write_pointer[self._idx] == 0
 
     def program(self, offset, data, oob):
         """Program the page at ``offset`` (must be the write pointer)."""
-        if offset != self._write_pointer:
-            raise FlashStateError(
-                "block %d: out-of-order program at offset %d (expected %d)"
-                % (self.pba, offset, self._write_pointer)
-            )
-        page = self.pages[offset]
-        if page.state is not PageState.ERASED:
-            raise FlashStateError(
-                "block %d: program to non-erased page %d" % (self.pba, offset)
-            )
-        page.state = PageState.PROGRAMMED
-        page.data = data
-        page.oob = oob
-        self._write_pointer += 1
+        self._core.program(self._idx, offset, data, oob)
 
     def read(self, offset):
-        page = self.pages[offset]
-        if page.state is not PageState.PROGRAMMED:
-            raise FlashStateError(
-                "block %d: read of erased page %d" % (self.pba, offset)
-            )
-        return page.data, page.oob
+        return self._core.read(self._idx, offset)
 
     def erase(self):
-        for page in self.pages:
-            page.state = PageState.ERASED
-            page.data = None
-            page.oob = None
-        self.erase_count += 1
-        self._write_pointer = 0
-        self.reads_since_erase = 0
+        self._core.erase(self._idx)
 
     def __repr__(self):
         return "Block(pba=%d, programmed=%d/%d, erases=%d)" % (
             self.pba,
-            self._write_pointer,
+            self.write_pointer,
             len(self.pages),
             self.erase_count,
         )

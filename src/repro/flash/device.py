@@ -11,7 +11,9 @@ from dataclasses import dataclass, field
 from repro.common.errors import EraseFailureError, ProgramFailureError
 from repro.common.units import BlockId, Ppa, TimeUs
 from repro.flash.block import Block
+from repro.flash.core import ColumnarFlashArray, verify_seq_tags
 from repro.flash.geometry import FlashGeometry
+from repro.flash.page import Page
 from repro.flash.reliability import ReliabilityEngine
 from repro.flash.timing import ChannelTimelines, FlashTiming
 from repro.obs import Scope
@@ -39,6 +41,54 @@ class OpCounters:
             self.translation_reads,
             self.translation_writes,
         )
+
+
+class BlockOOBScan:
+    """One block's OOB columns, as :meth:`FlashDevice.scan_oob` yields them.
+
+    The int64 members (``lpa``, ``back_pointer``, ``timestamp_us``,
+    ``seq_tag``, ``programmed_us``) are ``array('q')`` copies covering
+    offsets ``[0, write_pointer)``; ``intact[i]`` is 1 iff offset ``i``
+    is programmed and its sequence tag matches its fields (i.e. the page
+    committed — torn and burned pages read 0).  Everything at or past
+    ``write_pointer`` is erased by the NAND invariants and not included.
+    """
+
+    __slots__ = (
+        "pba",
+        "erase_count",
+        "write_pointer",
+        "failed",
+        "state",
+        "lpa",
+        "back_pointer",
+        "timestamp_us",
+        "seq_tag",
+        "programmed_us",
+        "intact",
+    )
+
+    def __init__(self, core, pba):
+        self.pba = pba
+        self.erase_count = core.erase_count[pba]
+        self.write_pointer = core.write_pointer[pba]
+        self.failed = bool(core.failed[pba])
+        state, lpa, back, ts, seq, programmed = core.page_slice(pba)
+        self.state = state
+        self.lpa = lpa
+        self.back_pointer = back
+        self.timestamp_us = ts
+        self.seq_tag = seq
+        self.programmed_us = programmed
+        intact = verify_seq_tags(lpa, back, ts, seq)
+        if 0 in state:
+            # Defensive: sequential-program NAND never leaves erased
+            # holes below the write pointer, but a direct state poke
+            # (tests, tooling) could — mask those out of ``intact``.
+            for i, programmed_flag in enumerate(state):
+                if not programmed_flag:
+                    intact[i] = 0
+        self.intact = intact
 
 
 @dataclass
@@ -80,8 +130,13 @@ class FlashDevice:
         #: Start time of the op currently consulting the fault hooks —
         #: hooks have no clock of their own, so trace events read this.
         self.last_op_start_us = 0
+        #: The columnar (structure-of-arrays) page/block store.  All
+        #: functional state lives here; ``self.blocks`` are views.
+        self.core = ColumnarFlashArray(
+            self.geometry.total_blocks, self.geometry.pages_per_block
+        )
         self.blocks = [
-            Block(pba, self.geometry.pages_per_block)
+            Block(pba, self.geometry.pages_per_block, core=self.core, index=pba)
             for pba in range(self.geometry.total_blocks)
         ]
         self.timelines = ChannelTimelines(self.geometry.channels)
@@ -95,6 +150,8 @@ class FlashDevice:
         self._m_reads = metrics.counter("flash.reads")
         self._m_programs = metrics.counter("flash.programs")
         self._m_erases = metrics.counter("flash.erases")
+        self._m_scan_blocks = metrics.counter("flash.scan.blocks")
+        self._m_scan_pages = metrics.counter("flash.scan.pages")
         self._h_read_us = metrics.histogram("flash.read_us")
         self._h_program_us = metrics.histogram("flash.program_us")
         self._h_erase_us = metrics.histogram("flash.erase_us")
@@ -119,28 +176,28 @@ class FlashDevice:
         each one advances the read-disturb accumulator.
         """
         geo = self.geometry
+        core = self.core
         pba = geo.block_of_page(ppa)
-        block = self.blocks[pba]
         if self.faults is not None:
             self.last_op_start_us = now_us
             self.faults.on_read(self, ppa)
         offset = geo.page_offset(ppa)
-        data, oob = block.read(offset)
+        data, oob = core.read(pba, offset)
         self.counters.page_reads += 1
         # Disturb from *prior* senses degrades this read; this read's own
         # stress lands on the next one.  Count before the ECC check so
         # retry attempts see the same disturb term as the failed read.
-        disturb_reads = block.reads_since_erase
-        block.reads_since_erase += 1
+        disturb_reads = core.reads_since_erase[pba]
+        core.reads_since_erase[pba] = disturb_reads + 1
         corrected = 0
         if self.reliability is not None:
             # ECC check: may raise UncorrectableReadError.  Corrected
             # errors cost nothing functionally (as on real drives) but
             # the count is surfaced so firmware can refresh early.
-            page_age = max(0, now_us - block.pages[offset].programmed_us)
+            page_age = max(0, now_us - core.programmed_us[ppa])
             corrected = self.reliability.check_read(
                 ppa,
-                block.erase_count,
+                core.erase_count[pba],
                 age_us=page_age,
                 block_reads=disturb_reads,
                 retry_step=retry_step,
@@ -175,9 +232,9 @@ class FlashDevice:
         program occupies the chip.
         """
         geo = self.geometry
+        core = self.core
         pba = geo.block_of_page(ppa)
-        block = self.blocks[pba]
-        if block.failed:
+        if core.failed[pba]:
             raise ProgramFailureError(ppa, permanent=True)
         if self.faults is not None:
             # May raise (power cut, program failure); a torn program
@@ -185,11 +242,10 @@ class FlashDevice:
             # this line runs for a failed op — no counters, no timing.
             self.last_op_start_us = now_us
             self.faults.on_program(self, ppa, data, oob)
-        offset = geo.page_offset(ppa)
-        block.program(offset, data, oob)
-        block.last_program_us = now_us
+        core.program(pba, geo.page_offset(ppa), data, oob)
+        core.last_program_us[pba] = now_us
         # Retention clock: charge leakage is measured from this moment.
-        block.pages[offset].programmed_us = now_us
+        core.programmed_us[ppa] = now_us
         self.counters.page_programs += 1
         transferred = self.timelines.schedule(
             geo.channel_of_page(ppa), now_us, self.timing.bus_transfer_us
@@ -212,12 +268,12 @@ class FlashDevice:
         """
         geo = self.geometry
         geo.check_pba(pba)
-        if self.blocks[pba].failed:
+        if self.core.failed[pba]:
             raise EraseFailureError(pba)
         if self.faults is not None:
             self.last_op_start_us = now_us
             self.faults.on_erase(self, pba)
-        self.blocks[pba].erase()
+        self.core.erase(pba)
         self.counters.block_erases += 1
         complete = self.chip_timelines.schedule(
             self._chip_index(pba), now_us, self.timing.erase_us
@@ -233,13 +289,43 @@ class FlashDevice:
 
     def peek_page(self, ppa: Ppa):
         """Inspect a page without timing or counters (tests, invariants)."""
-        geo = self.geometry
-        block = self.blocks[geo.block_of_page(ppa)]
-        page = block.pages[geo.page_offset(ppa)]
-        return page
+        self.geometry.check_ppa(ppa)
+        return Page(self.core, ppa)
 
     def block_erase_counts(self):
-        return [b.erase_count for b in self.blocks]
+        return list(self.core.erase_count)
+
+    # --- Bulk OOB sweeps ------------------------------------------------------
+
+    def scan_block_oob(self, pba: BlockId):
+        """One block's OOB columns as a :class:`BlockOOBScan`.
+
+        An OOB sweep models firmware reading only the out-of-band area
+        of sequential pages (mount-time recovery, patrol candidacy): it
+        is untimed like :meth:`peek_page`, but counted — the
+        ``flash.scan.*`` counters expose how much of the device each
+        sweep actually touched.
+        """
+        self.geometry.check_pba(pba)
+        scan = BlockOOBScan(self.core, pba)
+        self._m_scan_blocks.inc()
+        self._m_scan_pages.inc(scan.write_pointer)
+        return scan
+
+    def scan_oob(self, pbas=None):
+        """Sweep OOB metadata block-by-block; yields :class:`BlockOOBScan`.
+
+        ``pbas`` defaults to every block.  Erased, non-failed blocks are
+        skipped (nothing to report); failed blocks are yielded (with
+        ``failed=True``) so recovery can retire them on sight.
+        """
+        core = self.core
+        if pbas is None:
+            pbas = range(self.geometry.total_blocks)
+        for pba in pbas:
+            if core.write_pointer[pba] == 0 and not core.failed[pba]:
+                continue
+            yield self.scan_block_oob(pba)
 
     def __repr__(self):
         return "FlashDevice(%d blocks x %d pages, %d channels)" % (

@@ -90,26 +90,81 @@ class OOBMetadata:
 
 
 class Page:
-    """One flash page: state, stored object, and OOB metadata.
+    """View of one flash page over the device's columnar core.
 
-    ``data`` is whatever object the FTL programs — raw ``bytes`` for
-    content-bearing experiments, or lightweight tokens for modeled-content
-    trace replays.  The flash layer never inspects it.
+    Since the columnar refactor the authoritative page state lives in
+    flat per-device columns (:class:`repro.flash.core.ColumnarFlashArray`);
+    a ``Page`` is a two-word handle that reads and writes those columns
+    through the same attributes the old object model exposed:
+
+    * ``state`` — :class:`PageState`;
+    * ``data`` — whatever object the FTL programmed (raw ``bytes`` for
+      content-bearing experiments, lightweight tokens for modeled-content
+      replays; the flash layer never inspects it);
+    * ``oob`` — the page's :class:`OOBMetadata` (None while erased),
+      reconstructed from the columns on access;
+    * ``programmed_us`` — the reliability model's retention clock
+      (charge leaks from the moment the cells are written, not from when
+      the block was opened).
     """
 
-    __slots__ = ("state", "data", "oob", "programmed_us")
+    __slots__ = ("_core", "_gidx")
 
-    def __init__(self):
-        self.state = PageState.ERASED
-        self.data = None
-        self.oob = None
-        #: Simulated time this page was programmed — the reliability
-        #: model's retention clock (charge leaks from the moment the
-        #: cells are written, not from when the block was opened).
-        self.programmed_us = 0
+    def __init__(self, core, gidx):
+        self._core = core
+        self._gidx = gidx
+
+    @property
+    def state(self):
+        return (
+            PageState.PROGRAMMED
+            if self._core.state[self._gidx]
+            else PageState.ERASED
+        )
+
+    @state.setter
+    def state(self, value):
+        self._core.state[self._gidx] = 1 if value is PageState.PROGRAMMED else 0
+
+    @property
+    def data(self):
+        return self._core.data[self._gidx]
+
+    @data.setter
+    def data(self, value):
+        self._core.data[self._gidx] = value
+
+    @property
+    def oob(self):
+        return self._core.oob_at(self._gidx)
+
+    @oob.setter
+    def oob(self, value):
+        core, gidx = self._core, self._gidx
+        if value is None:
+            core.lpa[gidx] = 0
+            core.back_pointer[gidx] = 0
+            core.timestamp_us[gidx] = 0
+            core.seq_tag[gidx] = 0
+            return
+        core.lpa[gidx] = value.lpa
+        core.back_pointer[gidx] = value.back_pointer
+        core.timestamp_us[gidx] = value.timestamp_us
+        core.seq_tag[gidx] = value.seq_tag - (
+            (1 << 64) if value.seq_tag >> 63 else 0
+        )
+
+    @property
+    def programmed_us(self):
+        return self._core.programmed_us[self._gidx]
+
+    @programmed_us.setter
+    def programmed_us(self, value):
+        self._core.programmed_us[self._gidx] = value
 
     def __repr__(self):
+        oob = self.oob
         return "Page(%s, lpa=%s)" % (
             self.state.value,
-            self.oob.lpa if self.oob else None,
+            oob.lpa if oob else None,
         )

@@ -1,9 +1,9 @@
 """Power-loss recovery for the baseline (regular) SSD.
 
 The regular FTL keeps only the AMT, BST and PVT in RAM; after an abrupt
-power cut it reconstructs them by scanning each block's out-of-band
-metadata, exactly like :mod:`repro.timessd.recovery` minus every
-retention structure:
+power cut it reconstructs them from the shared OOB sweep
+(:mod:`repro.ftl.recovery_scan` — the same block/page semantics as
+:mod:`repro.timessd.recovery`, minus every retention structure):
 
 * AMT + PVT — the newest *intact* OOB timestamp per LPA wins the
   mapping; pages whose OOB sequence tag mismatches (torn or burned
@@ -14,14 +14,19 @@ retention structure:
   user stream's active blocks (one per channel); orphans are
   force-sealed so GC can reclaim, not append to, them.
 
+With checkpointing enabled (``SSDConfig.checkpoint_interval_blocks``)
+the sweep adopts still-valid block summaries from the newest durable
+checkpoint and scans only blocks sealed (or reused) since — recovery
+becomes sublinear in device size; the stats report the split.
+
 Use with :meth:`~repro.ftl.ssd.BaseSSD.reset_volatile`::
 
     ssd.reset_volatile()
     stats = rebuild_from_flash(ssd)
 """
 
-from repro.flash.page import PageState
 from repro.ftl.block_manager import StreamId
+from repro.ftl.recovery_scan import sweep_oob
 
 
 def simulate_power_loss(ssd):
@@ -35,56 +40,27 @@ def rebuild_from_flash(ssd):
 
     Returns a dict of recovery statistics.
     """
-    device = ssd.device
-    geo = device.geometry
     bm = ssd.block_manager
+    sweep = sweep_oob(ssd)
 
-    heads = {}  # lpa -> (timestamp, ppa)
-    partial_blocks = []
-    scanned_pages = 0
-    torn_pages = 0
-    failed_blocks = 0
-
-    for pba in range(geo.total_blocks):
-        block = device.blocks[pba]
-        if block.failed:
-            bm.retire_failed_block(pba)
-            failed_blocks += 1
-            continue
-        if block.is_erased:
-            continue
-        bm.claim_block(pba)
-        if not block.is_full:
-            partial_blocks.append(pba)
-        for offset in range(block.write_pointer):
-            page = block.pages[offset]
-            if page.state is not PageState.PROGRAMMED or page.oob is None:
-                continue
-            if not page.oob.intact:
-                torn_pages += 1
-                continue
-            lpa = page.oob.lpa
-            if lpa < 0:
-                continue  # housekeeping page
-            scanned_pages += 1
-            ppa = geo.first_page_of_block(pba) + offset
-            ts = page.oob.timestamp_us
-            best = heads.get(lpa)
-            if best is None or ts > best[0]:
-                heads[lpa] = (ts, ppa)
-
-    for pba in partial_blocks:
+    for pba in sweep.partial_blocks:
         if not bm.adopt_active(StreamId.USER, pba):
             bm.seal_block(pba)
 
-    for lpa, (_ts, ppa) in heads.items():
+    for lpa, (_ts, ppa) in sweep.heads.items():
         ssd.mapping.update(lpa, ppa)
         bm.mark_valid(ppa)
 
+    if ssd.checkpointer is not None:
+        ssd.checkpointer.adopt(sweep.translation_blocks, sweep.checkpoint_seq)
+
     return {
-        "mapped_lpas": len(heads),
-        "scanned_pages": scanned_pages,
+        "mapped_lpas": len(sweep.heads),
+        "scanned_pages": len(sweep.user_pages),
         "free_blocks": bm.free_block_count,
-        "torn_pages": torn_pages,
-        "failed_blocks": failed_blocks,
+        "torn_pages": sweep.torn_pages,
+        "failed_blocks": sweep.failed_blocks,
+        "scanned_blocks": sweep.scanned_blocks,
+        "summarized_blocks": sweep.summarized_blocks,
+        "checkpoint_seq": sweep.checkpoint_seq,
     }

@@ -1,0 +1,164 @@
+"""The shared OOB recovery sweep used by both rebuild paths.
+
+``repro.ftl.recovery`` and ``repro.timessd.recovery`` used to carry
+copy-pasted block/page scan loops (torn-page discard, failed-block
+retirement, partial-block collection) that could — and did — drift.
+This module is the single implementation, rewritten against the
+columnar :meth:`~repro.flash.device.FlashDevice.scan_oob` sweep instead
+of per-page ``Page`` objects, and extended with checkpoint summaries
+(:mod:`repro.ftl.checkpoint`): a block whose checkpointed summary still
+matches the media (same erase count, still full, not failed) is adopted
+from the summary without scanning its pages, which is what makes
+recovery sublinear in device size.
+
+The sweep owns exactly the semantics the two recoveries share:
+
+* grown-bad blocks (``failed`` — media truth) are retired on sight;
+* erased blocks stay in the free pool;
+* occupied blocks are claimed; translation (checkpoint) blocks are
+  claimed under their own kind and sealed when partial, never adopted
+  as user append points;
+* torn/burned pages (sequence-tag mismatch) are discarded, never
+  reported;
+* intact user pages feed the newest-timestamp-wins ``heads`` map and
+  the flat ``user_pages`` list;
+* intact housekeeping pages (negative LPA tags: delta pages,
+  translation pages in unrecognized blocks) are collected with their
+  tag for the caller to classify;
+* partially-programmed non-translation blocks are collected for the
+  caller's append-point adoption.
+
+What the sweep deliberately does *not* do: adopt append points, set
+delta-block kinds, or touch the mapping — those differ between the
+regular FTL and TimeSSD and stay in their respective recovery modules.
+"""
+
+from repro.ftl import checkpoint as checkpointing
+from repro.ftl.block_manager import BlockKind
+
+
+class OOBSweep:
+    """Result of one :func:`sweep_oob` pass."""
+
+    __slots__ = (
+        "heads",
+        "user_pages",
+        "housekeeping",
+        "partial_blocks",
+        "translation_blocks",
+        "torn_pages",
+        "failed_blocks",
+        "scanned_blocks",
+        "summarized_blocks",
+        "checkpoint_seq",
+    )
+
+    def __init__(self):
+        #: ``{lpa: (timestamp_us, ppa)}`` — newest intact version wins.
+        self.heads = {}
+        #: Every intact user page: ``(ppa, lpa, timestamp_us)``.
+        self.user_pages = []
+        #: Intact housekeeping pages: ``(pba, ppa, lpa_tag, timestamp_us)``.
+        self.housekeeping = []
+        #: Partially-programmed non-translation blocks, scan order.
+        self.partial_blocks = []
+        #: Blocks recognized as checkpoint storage.
+        self.translation_blocks = set()
+        self.torn_pages = 0
+        self.failed_blocks = 0
+        #: Blocks whose pages were actually swept.
+        self.scanned_blocks = 0
+        #: Blocks adopted from the checkpoint without a page sweep.
+        self.summarized_blocks = 0
+        #: Sequence number of the checkpoint used (None = full scan).
+        self.checkpoint_seq = None
+
+
+def sweep_oob(ssd, collect_housekeeping=False):
+    """Sweep the device's OOB metadata into an :class:`OOBSweep`.
+
+    ``collect_housekeeping`` additionally gathers intact negative-tag
+    pages (TimeSSD classifies delta pages from them; the regular FTL
+    skips them entirely).
+    """
+    device = ssd.device
+    geo = device.geometry
+    core = device.core
+    bm = ssd.block_manager
+    ppb = geo.pages_per_block
+    sweep = OOBSweep()
+
+    translation_blocks = checkpointing.find_translation_blocks(device)
+    image = (
+        checkpointing.load_latest_checkpoint(device, translation_blocks)
+        if translation_blocks
+        else None
+    )
+    sweep.translation_blocks = translation_blocks
+    if image is not None:
+        sweep.checkpoint_seq = image.seq
+
+    heads = sweep.heads
+    user_pages = sweep.user_pages
+    for pba in range(geo.total_blocks):
+        if core.failed[pba]:
+            # Grown bad block: the media remembers even though the fresh
+            # BST does not.  Take it out of service; any versions it held
+            # are gone (matching a real drive's data loss on bad blocks).
+            bm.retire_failed_block(pba)
+            sweep.failed_blocks += 1
+            continue
+        wp = core.write_pointer[pba]
+        if wp == 0:
+            continue
+        # Occupied blocks must leave the (fresh) free pool.
+        bm.claim_block(pba)
+        if pba in translation_blocks:
+            # Checkpoint storage: already parsed by the loader above.
+            # Never a user append point — sealed if partial; the writer
+            # reopens fresh translation blocks lazily.
+            bm.set_kind(pba, BlockKind.TRANSLATION)
+            if wp < ppb:
+                bm.seal_block(pba)
+            continue
+        if wp < ppb:
+            sweep.partial_blocks.append(pba)
+        first = geo.first_page_of_block(pba)
+        summary = checkpointing.summary_for(image, core, pba, ppb)
+        if summary is not None:
+            sweep.summarized_blocks += 1
+            sweep.torn_pages += summary.torn_pages
+            for offset, lpa, ts in summary.entries:
+                ppa = first + offset
+                user_pages.append((ppa, lpa, ts))
+                best = heads.get(lpa)
+                if best is None or ts > best[0]:
+                    heads[lpa] = (ts, ppa)
+            continue
+        scan = device.scan_block_oob(pba)
+        sweep.scanned_blocks += 1
+        intact = scan.intact
+        lpas = scan.lpa
+        timestamps = scan.timestamp_us
+        states = scan.state
+        for offset in range(wp):
+            if not states[offset]:
+                continue
+            if not intact[offset]:
+                # Torn tail of the interrupted program (or a burned
+                # page): the sequence tag mismatch proves it never
+                # committed, so it must not corrupt the rebuilt tables.
+                sweep.torn_pages += 1
+                continue
+            lpa = lpas[offset]
+            ts = timestamps[offset]
+            if lpa < 0:
+                if collect_housekeeping:
+                    sweep.housekeeping.append((pba, first + offset, lpa, ts))
+                continue
+            ppa = first + offset
+            user_pages.append((ppa, lpa, ts))
+            best = heads.get(lpa)
+            if best is None or ts > best[0]:
+                heads[lpa] = (ts, ppa)
+    return sweep

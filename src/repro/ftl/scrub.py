@@ -132,10 +132,15 @@ class PatrolScrubber:
         for pba in self._rotate(order):
             if budget_pages <= 0 or t + refresh_bound > deadline_us:
                 break
-            for ppa in ssd.device.geometry.pages_of_block(pba):
+            for ppa in self._patrol_candidates(pba):
                 if budget_pages <= 0 or t + refresh_bound > deadline_us:
                     break
-                if not self._patrol_worthy(ppa):
+                if not ssd.block_manager.is_valid(ppa) and self._is_reclaimable(
+                    ppa
+                ):
+                    # An earlier refresh in this very walk compressed the
+                    # page's version into the delta chain: nothing left
+                    # for a patrol read to protect.
                     continue
                 if not started:
                     started = True
@@ -186,18 +191,26 @@ class PatrolScrubber:
         start = self._patrol_cursor % len(order)
         return order[start:] + order[:start]
 
-    def _patrol_worthy(self, ppa):
-        """Skip pages a patrol read could not help: erased, torn, or
-        already compressed into the delta chain."""
+    def _patrol_candidates(self, pba):
+        """PPAs in ``pba`` worth a patrol read, via one columnar OOB sweep.
+
+        Skips pages a patrol read could not help: erased or torn/burned
+        (batch sequence-tag check).  One
+        :meth:`~repro.flash.device.FlashDevice.scan_block_oob` sweep
+        replaces the old page-at-a-time ``peek_page`` walk; it is safe to
+        snapshot because a sealed block's programmed/intact columns are
+        immutable during the walk.  Validity is *not* snapshotted — a
+        refresh earlier in the same walk can compress a later candidate
+        into the delta chain, so the caller re-checks it per page.
+        """
         ssd = self._ssd
-        page = ssd.device.peek_page(ppa)
-        if page.state is not PageState.PROGRAMMED:
-            return False
-        if page.oob is None or not page.oob.intact:
-            return False
-        if not ssd.block_manager.is_valid(ppa) and self._is_reclaimable(ppa):
-            return False
-        return True
+        scan = ssd.device.scan_block_oob(pba)
+        first = ssd.device.geometry.first_page_of_block(pba)
+        return [
+            first + offset
+            for offset in range(scan.write_pointer)
+            if scan.intact[offset]
+        ]
 
     def _is_reclaimable(self, ppa):
         index = getattr(self._ssd, "index", None)

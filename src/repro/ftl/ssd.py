@@ -25,6 +25,7 @@ from repro.flash.geometry import FlashGeometry
 from repro.flash.page import NULL_PPA, OOBMetadata
 from repro.flash.timing import FlashTiming
 from repro.ftl.block_manager import BlockKind, BlockManager, StreamId
+from repro.ftl.checkpoint import CheckpointWriter
 from repro.ftl.mapping import AddressMappingTable
 from repro.ftl.scrub import PatrolScrubber
 from repro.ftl.wear_leveling import WearLeveler
@@ -82,6 +83,13 @@ class SSDConfig:
     #: media failures before the scrubber may heal it back to writable
     #: (the anti-flap hysteresis).
     heal_dwell_us: int = 2 * SECOND_US
+    #: Checkpointed recovery: every this-many blocks' worth of page
+    #: programs, persist per-block recovery summaries to dedicated
+    #: translation blocks so ``rebuild_from_flash`` scans only blocks
+    #: sealed since (see :mod:`repro.ftl.checkpoint`).  ``None`` (the
+    #: default) disables checkpointing — recovery falls back to the
+    #: full OOB sweep and no housekeeping writes are added.
+    checkpoint_interval_blocks: int = None
     #: Record structured events in the device's trace ring (see
     #: :mod:`repro.obs`).  Off by default: metrics are always on, the
     #: event ring costs one branch per candidate event when disabled.
@@ -174,6 +182,13 @@ class BaseSSD:
         #: Background patrol scrubber + refresh engine (None unless
         #: ``patrol_scrub`` is enabled).
         self.scrubber = PatrolScrubber(self) if self.config.patrol_scrub else None
+        #: Periodic recovery-checkpoint writer (None unless
+        #: ``checkpoint_interval_blocks`` is set).
+        self.checkpointer = (
+            CheckpointWriter(self)
+            if self.config.checkpoint_interval_blocks
+            else None
+        )
         self._last_io_end_us = self.clock.now_us
         self._idle = IdlePredictor()
         self._gc_is_background = False
@@ -602,6 +617,12 @@ class BaseSSD:
 
     def _before_host_request(self, arrival_us):
         """Detect the idle gap that just ended and spend it on housekeeping."""
+        # Checkpoints run *before* the request, never between a host
+        # program and its acknowledgement: a power cut inside a
+        # checkpoint must not make an unacknowledged write durable
+        # (the torture oracle holds us to read-your-acked-writes).
+        if self.checkpointer is not None:
+            self.checkpointer.maybe_checkpoint(arrival_us)
         gap = arrival_us - self._last_io_end_us
         if gap <= 0:
             return
@@ -826,6 +847,11 @@ class BaseSSD:
         if self.scrubber is not None:
             # Scrub bookkeeping (at-risk queue, patrol cursor) is RAM.
             self.scrubber = PatrolScrubber(self)
+        if self.checkpointer is not None:
+            # Checkpoint bookkeeping (summary cache, block ownership,
+            # sequence counter) is RAM; recovery re-adopts what survives
+            # on flash via CheckpointWriter.adopt.
+            self.checkpointer = CheckpointWriter(self)
         self._last_io_end_us = self.clock.now_us
         self._idle = IdlePredictor()
         self._gc_is_background = False

@@ -9,7 +9,9 @@ is exactly why TimeSSD stores (LPA, back-pointer, timestamp) in OOB.
 :meth:`TimeSSD.reset_volatile` (including the RAM delta buffers — real
 firmware would flush those with capacitor-backed power; we model the
 conservative worst case where they are lost);
-:func:`rebuild_from_flash` reconstructs:
+:func:`rebuild_from_flash` reconstructs, on top of the shared OOB sweep
+(:mod:`repro.ftl.recovery_scan`: torn-page discard, failed-block
+retirement, partial/translation-block handling, checkpoint summaries):
 
 * AMT + PVT — the newest *intact* OOB timestamp per LPA wins the
   mapping; pages whose OOB sequence tag mismatches (torn or failed
@@ -33,7 +35,8 @@ conservative worst case where they are lost);
 from collections import defaultdict
 
 from repro.ftl.block_manager import BlockKind, StreamId
-from repro.flash.page import NULL_PPA, PageState
+from repro.ftl.recovery_scan import sweep_oob
+from repro.flash.page import NULL_PPA, OOBMetadata
 from repro.timessd.delta import DeltaPage
 
 
@@ -58,54 +61,22 @@ def rebuild_from_flash(ssd):
     geo = device.geometry
     bm = ssd.block_manager
 
-    heads = {}  # lpa -> (timestamp, ppa)
-    user_pages = []  # (ppa, lpa, ts)
+    sweep = sweep_oob(ssd, collect_housekeeping=True)
+    heads = sweep.heads
+
+    # Delta pages announce themselves with the DELTA_TAG housekeeping
+    # OOB tag; their page data objects hold the records.
     delta_records = []
     delta_blocks = set()
-    partial_blocks = []
-    torn_pages = 0
-    failed_blocks = 0
-
-    for pba in range(geo.total_blocks):
-        block = device.blocks[pba]
-        if block.failed:
-            # Grown bad block: the media remembers even though the fresh
-            # BST does not.  Take it out of service; any versions it held
-            # are gone (matching a real drive's data loss on bad blocks).
-            bm.retire_failed_block(pba)
-            failed_blocks += 1
+    data = device.core.data
+    for pba, ppa, lpa_tag, _ts in sweep.housekeeping:
+        if lpa_tag != OOBMetadata.DELTA_TAG:
             continue
-        if block.is_erased:
+        payload = data[ppa]
+        if not isinstance(payload, DeltaPage):
             continue
-        # Occupied blocks must leave the (fresh) free pool.
-        bm.claim_block(pba)
-        if not block.is_full:
-            partial_blocks.append(pba)
-        for offset in range(block.write_pointer):
-            page = block.pages[offset]
-            if page.state is not PageState.PROGRAMMED or page.oob is None:
-                continue
-            if not page.oob.intact:
-                # Torn tail of the interrupted program (or a burned
-                # page): the sequence tag mismatch proves it never
-                # committed, so it must not corrupt the rebuilt tables.
-                torn_pages += 1
-                continue
-            ppa = geo.first_page_of_block(pba) + offset
-            if isinstance(page.data, DeltaPage):
-                delta_blocks.add(pba)
-                delta_records.extend(
-                    r for r in page.data.records if not r.dropped
-                )
-                continue
-            lpa = page.oob.lpa
-            if lpa < 0:
-                continue  # housekeeping page
-            ts = page.oob.timestamp_us
-            user_pages.append((ppa, lpa, ts))
-            best = heads.get(lpa)
-            if best is None or ts > best[0]:
-                heads[lpa] = (ts, ppa)
+        delta_blocks.add(pba)
+        delta_records.extend(r for r in payload.records if not r.dropped)
 
     # Delta chains: group, order newest-first, relink, and re-home every
     # record (and every recovered delta block) into one conservative
@@ -118,7 +89,7 @@ def rebuild_from_flash(ssd):
     # Append points: partially-programmed data blocks become the user
     # stream's active blocks again (one per channel); leftovers are
     # sealed so GC treats them as reclaimable victims, not free space.
-    for pba in partial_blocks:
+    for pba in sweep.partial_blocks:
         if pba in delta_blocks:
             continue  # delta appends reopen lazily via their stream key
         if not bm.adopt_active(StreamId.USER, pba):
@@ -179,7 +150,7 @@ def rebuild_from_flash(ssd):
     # Retained invalid pages: everything programmed but not a head.
     retained = 0
     reclaimable = 0
-    for ppa, lpa, ts in user_pages:
+    for ppa, lpa, ts in sweep.user_pages:
         head = heads.get(lpa, (None, None))
         if head[1] == ppa:
             continue
@@ -211,6 +182,9 @@ def rebuild_from_flash(ssd):
         ssd.retained_pages += 1
         retained += 1
 
+    if ssd.checkpointer is not None:
+        ssd.checkpointer.adopt(sweep.translation_blocks, sweep.checkpoint_seq)
+
     return {
         "mapped_lpas": len(heads),
         "retained_pages": retained,
@@ -218,9 +192,12 @@ def rebuild_from_flash(ssd):
         "delta_records": len(delta_records),
         "delta_blocks": len(delta_blocks),
         "free_blocks": bm.free_block_count,
-        "torn_pages": torn_pages,
-        "failed_blocks": failed_blocks,
+        "torn_pages": sweep.torn_pages,
+        "failed_blocks": sweep.failed_blocks,
         "unresolvable_deltas": unresolvable,
+        "scanned_blocks": sweep.scanned_blocks,
+        "summarized_blocks": sweep.summarized_blocks,
+        "checkpoint_seq": sweep.checkpoint_seq,
     }
 
 

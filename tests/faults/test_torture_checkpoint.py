@@ -1,0 +1,53 @@
+"""Crash-point torture with recovery checkpoints enabled (PR 8).
+
+With ``checkpoint_interval_blocks`` set, the enumerated crash points
+also land inside checkpoint part/root programs and the superseded-block
+erases.  The contract under test: a power cut anywhere mid-checkpoint
+leaves a consistent image in force (possibly an older one, possibly
+none), and checkpointed recovery remains exactly equivalent to the
+full OOB sweep — acked writes survive, unacked writes never become
+visible as acked.
+"""
+
+from repro.faults.torture import TortureConfig, run_torture
+from repro.ftl.checkpoint import find_translation_blocks
+from repro.timessd.recovery import rebuild_from_flash, simulate_power_loss
+
+from repro.faults.torture import _clean_run, build_workload
+
+
+def checkpoint_config(**overrides):
+    params = dict(
+        ops=120,
+        crash_every=17,
+        checkpoint_interval_blocks=2,
+        gap_us=700,
+    )
+    params.update(overrides)
+    return TortureConfig(**params)
+
+
+def test_checkpoints_fire_during_the_torture_workload():
+    """The sweep only means something if checkpoints really ran."""
+    config = checkpoint_config()
+    _plan, ssd = _clean_run(config, build_workload(config))
+    counters = ssd.obs.metrics.snapshot()["counters"]
+    assert counters["recovery.checkpoint.written"] > 0
+    assert find_translation_blocks(ssd.device)
+
+
+def test_sweep_recovers_at_every_crash_point():
+    report = run_torture(checkpoint_config())
+    assert report.ok, "\n".join(report.summary_lines())
+
+
+def test_recovery_after_cut_uses_surviving_checkpoint():
+    """A post-crash rebuild can still lean on an earlier image."""
+    config = checkpoint_config()
+    _plan, ssd = _clean_run(config, build_workload(config))
+    simulate_power_loss(ssd)
+    stats = rebuild_from_flash(ssd)
+    assert stats["checkpoint_seq"] is not None
+    assert stats["summarized_blocks"] >= 0
+    # The recovered writer supersedes rather than collides.
+    assert ssd.checkpointer.seq == stats["checkpoint_seq"]

@@ -85,3 +85,54 @@ class TestModeledDeltaCodec:
         token = ("version", 42)
         payload, _ = codec.compress(token, None)
         assert codec.decompress(payload, None) == token
+
+
+class TestCompressionMemo:
+    """The memoized cost model returns cached results verbatim."""
+
+    def test_repeat_pairs_hit_the_memo(self):
+        codec = RealDeltaCodec(PAGE)
+        old = bytes(range(256))[:PAGE].ljust(PAGE, b"\x01")
+        ref = bytes(PAGE)
+        first = codec.compress(old, ref)
+        again = codec.compress(old, ref)
+        assert again == first
+        assert codec.memo_hits == 1
+        assert codec.memo_misses == 1
+        # A different pair is a miss, not a stale hit.
+        other = codec.compress(old, old)
+        assert other != first
+        assert codec.memo_misses == 2
+
+    def test_no_reference_is_memoized_separately(self):
+        codec = RealDeltaCodec(PAGE)
+        old = b"\x07" * PAGE
+        a = codec.compress(old, None)
+        b = codec.compress(old, None)
+        assert a == b
+        assert codec.memo_hits == 1
+        assert a[0][0] == "lzf"
+
+    def test_lru_eviction_is_bounded(self):
+        codec = RealDeltaCodec(PAGE)
+        codec.MEMO_ENTRIES = 4
+        for i in range(10):
+            codec.compress(bytes([i]) * PAGE, None)
+        assert len(codec._memo) <= 4
+        # The newest entry survives, the oldest was evicted.
+        codec.compress(bytes([9]) * PAGE, None)
+        assert codec.memo_hits == 1
+        codec.compress(bytes([0]) * PAGE, None)
+        assert codec.memo_misses == 11
+
+    def test_memoized_results_match_fresh_codec(self):
+        rng = random.Random(5)
+        ref = bytes(rng.randrange(256) for _ in range(PAGE))
+        old = bytearray(ref)
+        old[10] ^= 0xFF
+        old = bytes(old)
+        warm = RealDeltaCodec(PAGE)
+        warm.compress(old, ref)
+        cached = warm.compress(old, ref)
+        fresh = RealDeltaCodec(PAGE).compress(old, ref)
+        assert cached == fresh
