@@ -370,8 +370,17 @@ def _yield_sites(graph, info):
             )
             sites.append((node, "%s in %s" % (kind, info.qualname)))
     if SCHEDULER_YIELD_QUALNAMES:
+        # Confident edges only, mirroring the re-entrancy rule: every
+        # ``__init__`` in the project resolves from an ambiguous
+        # ``super().__init__()`` guess, and a guess that a section
+        # constructs a wait instruction belongs in the unresolved
+        # report, not here.
         for node, resolved in graph.calls.get(info.qualname, ()):
-            if any(q in SCHEDULER_YIELD_QUALNAMES for q in resolved):
+            if any(
+                q in SCHEDULER_YIELD_QUALNAMES
+                and (info.qualname, q) not in graph.ambiguous_edges
+                for q in resolved
+            ):
                 sites.append(
                     (node, "scheduler yield in %s" % info.qualname)
                 )

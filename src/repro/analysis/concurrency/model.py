@@ -55,18 +55,24 @@ TASK_ROOTS = (
             "repro.ftl.ssd.BaseSSD.read_range",
             "repro.ftl.ssd.BaseSSD.serve_write_at",
             "repro.ftl.ssd.BaseSSD.serve_trim_at",
+            "repro.ftl.ssd.BaseSSD.serve_read_at",
+            "repro.nvme.engine.AsyncNVMeEngine._slot_worker",
             "repro.timessd.ssd.TimeSSD.version_chain",
         ),
         description=(
             "host request service: one task per NVMe command; subclass "
             "overrides (TimeSSD, FlashGuardSSD) are reached by virtual "
-            "dispatch from these base entries"
+            "dispatch from these base entries; the async engine's slot "
+            "workers are the scheduled form of the same root"
         ),
     ),
     TaskRoot(
         name="background-gc",
         category="background",
-        qualnames=("repro.ftl.ssd.BaseSSD._background_collect",),
+        qualnames=(
+            "repro.ftl.ssd.BaseSSD._background_collect",
+            "repro.sched.tasks.background_gc_task",
+        ),
         description=(
             "idle-window garbage collection: victim selection, valid-page "
             "migration, erase, release"
@@ -75,7 +81,10 @@ TASK_ROOTS = (
     TaskRoot(
         name="background-compression",
         category="background",
-        qualnames=("repro.timessd.ssd.TimeSSD._background_compress",),
+        qualnames=(
+            "repro.timessd.ssd.TimeSSD._background_compress",
+            "repro.sched.tasks.background_compress_task",
+        ),
         description=(
             "TimeSSD delta compression of cold version chains during "
             "idle windows (paper §3.2)"
@@ -84,7 +93,10 @@ TASK_ROOTS = (
     TaskRoot(
         name="background-scrub",
         category="background",
-        qualnames=("repro.ftl.scrub.PatrolScrubber.run",),
+        qualnames=(
+            "repro.ftl.scrub.PatrolScrubber.run",
+            "repro.sched.tasks.background_scrub_task",
+        ),
         description=(
             "idle-window patrol scrubbing: ladder-reads sealed blocks "
             "oldest-programmed-first, refreshes at-risk pages before "
@@ -95,7 +107,10 @@ TASK_ROOTS = (
     TaskRoot(
         name="retention-expiry",
         category="background",
-        qualnames=("repro.timessd.ssd.TimeSSD._shrink_retention",),
+        qualnames=(
+            "repro.timessd.ssd.TimeSSD._shrink_retention",
+            "repro.sched.tasks.retention_expiry_task",
+        ),
         description=(
             "bloom/retention-window expiration: drops the oldest time "
             "segment and erases its delta blocks when GC overhead "
@@ -140,12 +155,28 @@ def schedulable_roots():
     )
 
 
-#: Functions that suspend the running task under the PR 7 scheduler.
-#: Empty today (the simulator is synchronous); the PR 7 refactor adds
-#: its yield/checkpoint primitives here so ``concurrency-yield-in-atomic``
-#: starts firing the moment one is called from inside an atomic section.
+#: Functions that suspend the running task under the event-loop
+#: scheduler (``repro.sched``).  Constructing a wait instruction is the
+#: yield: tasks build one and ``yield`` it to the loop, so any call to
+#: these constructors inside an ``@atomic_section`` means the section
+#: can be suspended mid-flight — which ``concurrency-yield-in-atomic``
+#: rejects.  Both the class and ``__init__`` qualnames appear because
+#: the call graph records class-constructor edges in either form.
 #: ``await`` expressions are always treated as yields regardless.
-SCHEDULER_YIELD_QUALNAMES = frozenset()
+SCHEDULER_YIELD_QUALNAMES = frozenset(
+    {
+        "repro.sched.core.Delay",
+        "repro.sched.core.Delay.__init__",
+        "repro.sched.core.At",
+        "repro.sched.core.At.__init__",
+        "repro.sched.core.Acquire",
+        "repro.sched.core.Acquire.__init__",
+        "repro.sched.core.Release",
+        "repro.sched.core.Release.__init__",
+        "repro.sched.core.Join",
+        "repro.sched.core.Join.__init__",
+    }
+)
 
 
 #: Receiver-name conventions for cross-object state access.  When a

@@ -24,7 +24,7 @@ LAYER_ORDER = (
     ("common", "obs"),
     ("flash",),
     ("ftl", "timessd"),
-    ("fs", "nvme", "timekits"),
+    ("fs", "nvme", "sched", "timekits"),
     ("workloads", "security", "casestudies", "bench", "cli", "analysis", "faults"),
 )
 

@@ -218,11 +218,14 @@ def ablate_gc_policy(usage=0.5, writes_factor=4, seed=13):
 
 
 def ablate_queue_depth(depths=(1, 2, 4, 8, 16), reads=400, seed=41):
-    """Random-read IOPS vs NVMe queue depth.
+    """Random-read IOPS vs NVMe queue depth, on the event-driven engine.
 
-    The QD=1 host of the synchronous model leaves the device\'s
-    parallelism idle; deeper queues overlap reads across channels until
-    the channel count saturates the scaling.
+    The QD=1 host leaves the device's parallelism idle; deeper queues
+    keep more slot workers in flight, overlapping reads across
+    channels/chips until the lane count saturates the scaling.  Each
+    depth runs the identical seeded read stream through
+    :meth:`~repro.nvme.driver.HostNVMeDriver.submit_async` with the
+    device's background daemons live on the same event loop.
     """
     import random as _random
 
@@ -230,16 +233,23 @@ def ablate_queue_depth(depths=(1, 2, 4, 8, 16), reads=400, seed=41):
     from repro.bench.config import make_bench_timessd, prefill
     from repro.nvme import HostNVMeDriver, NVMeCommand, Opcode
 
-    ssd = make_bench_timessd()
-    driver = HostNVMeDriver(ssd)
-    working = ssd.logical_pages // 2
-    prefill(ssd, working)
     rng = _random.Random(seed)
+    stream = [rng.randrange(10**9) for _ in range(reads)]
     points = []
     for depth in depths:
-        lpas = [rng.randrange(working) for _ in range(reads)]
-        commands = [NVMeCommand(Opcode.READ, slba=lpa, nlb=1) for lpa in lpas]
-        _completions, elapsed = driver.submit_batch(commands, queue_depth=depth)
+        # A fresh, identically-prefilled device per depth: completed
+        # background work must not leak from one depth into the next.
+        ssd = make_bench_timessd()
+        driver = HostNVMeDriver(ssd)
+        working = ssd.logical_pages // 2
+        prefill(ssd, working)
+        commands = [
+            NVMeCommand(Opcode.READ, slba=lpa % working, nlb=1)
+            for lpa in stream
+        ]
+        _completions, elapsed = driver.submit_async(
+            commands, queue_depth=depth, daemons=True
+        )
         iops = reads * SECOND_US / max(1, elapsed)
         points.append(
             AblationPoint(

@@ -1,4 +1,4 @@
-"""Machine-readable metrics snapshots: BENCH_pr8.json and the CLI demo.
+"""Machine-readable metrics snapshots: BENCH_pr9.json and the CLI demo.
 
 The bench smoke workload replays the same seeded churn on both devices
 and serializes their :meth:`~repro.ftl.ssd.BaseSSD.metrics_snapshot`
@@ -24,7 +24,7 @@ from repro.timessd.ssd import TimeSSD
 #: Schema tag: bump only when the JSON layout changes incompatibly.
 SCHEMA = "almanac-metrics/1"
 
-BENCH_FILE = "BENCH_pr8.json"
+BENCH_FILE = "BENCH_pr9.json"
 
 #: A fresh run slower than this fraction of the committed ops/sec fails
 #: ``check_bench_snapshot`` (>20% regression, per-run jitter allowed).
@@ -126,6 +126,26 @@ def bench_smoke_snapshots(seed=1, writes=1500):
         "workload": {"name": "bench-smoke", "writes": writes, "seed": seed},
         "devices": devices,
         "reliability": reliability_smoke_snapshot(seed=seed),
+        "queue_scaling": queue_scaling_snapshot(seed=seed),
+    }
+
+
+def queue_scaling_snapshot(seed=1, depths=(1, 4, 8), reads=200):
+    """Random-read IOPS per queue depth on the async engine.
+
+    The committed trajectory of the event-driven core: per-depth IOPS
+    are pure simulated-time figures (deterministic for a seed), so any
+    change to the scheduler, the engine, or flash timing shows up as a
+    payload diff here.
+    """
+    from repro.bench.ablations import ablate_queue_depth
+
+    points = ablate_queue_depth(depths=depths, reads=reads, seed=seed)
+    iops = {p.label: round(p.mean_response_us, 3) for p in points}
+    return {
+        "reads": reads,
+        "iops": iops,
+        "qd8_over_qd1": round(iops["QD=8"] / iops["QD=1"], 3),
     }
 
 
@@ -240,7 +260,7 @@ def to_canonical_json(result, indent=2):
 
 
 def write_bench_json(path=None, seed=1, writes=1500):
-    """Emit ``BENCH_pr8.json``; returns the path written."""
+    """Emit ``BENCH_pr9.json``; returns the path written."""
     path = path or BENCH_FILE
     result, harness = _timed_smoke(seed, writes)
     result["harness"] = harness

@@ -8,6 +8,7 @@ lengthening I/O response times, and channel-level parallelism speeding up
 TimeKits queries — without a request-queue simulator.
 """
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.common.errors import AddressError
@@ -56,6 +57,12 @@ class ChannelTimelines:
             raise ValueError("need at least one channel")
         self._busy_until = [0] * channels
         self._busy_us = [0] * channels
+        #: Completion times of operations still outstanding relative to
+        #: the latest arrival — the per-lane command queue the async
+        #: core's depth gauges read.  Entries are pruned lazily on the
+        #: next arrival, so memory stays bounded by the burst size.
+        self._pending = [deque() for _ in range(channels)]
+        self._max_depth = [0] * channels
 
     @property
     def channels(self):
@@ -90,7 +97,29 @@ class ChannelTimelines:
         end = start + latency_us
         self._busy_until[channel] = end
         self._busy_us[channel] += latency_us
+        pending = self._pending[channel]
+        while pending and pending[0] <= now_us:
+            pending.popleft()
+        pending.append(end)
+        if len(pending) > self._max_depth[channel]:
+            self._max_depth[channel] = len(pending)
         return end
+
+    def depth_at(self, channel, now_us):
+        """Operations still queued or in flight on ``channel`` at
+        ``now_us`` (arrival-time view: completions at exactly ``now_us``
+        no longer count)."""
+        self._check(channel)
+        return sum(1 for end in self._pending[channel] if end > now_us)
+
+    def max_depth(self, channel):
+        """Deepest the channel's command queue has ever been."""
+        self._check(channel)
+        return self._max_depth[channel]
+
+    def max_depths(self):
+        """Per-channel high-water queue depth, indexed by channel."""
+        return list(self._max_depth)
 
     def earliest_free(self, now_us):
         """(channel, free_at) pair for the channel that frees up first."""

@@ -305,6 +305,23 @@ class BaseSSD:
             return True
         return False
 
+    def serve_read_at(self, lpa: Lba, start_us: TimeUs):
+        """Read one host page starting at ``start_us``.
+
+        Returns ``(data, complete_us)``; an unmapped LPA answers from
+        the mapping table with no media time.  Like the other service
+        points this performs no admission work — the frontend owns
+        latency recording and idle accounting.
+        """
+        ppa = self.mapping.lookup(lpa)
+        self.host_pages_read += 1
+        if ppa == NULL_PPA:
+            if lpa in self.lost_lpas:
+                raise UncorrectableReadError(self.lost_lpas[lpa], lost=True)
+            return None, start_us
+        result = self.read_page_with_retry(ppa, start_us)
+        return result.data, result.complete_us
+
     # --- Stats ------------------------------------------------------------
 
     @property
@@ -331,10 +348,20 @@ class BaseSSD:
         metrics.gauge("flash.busy_us_total").set(timelines.total_busy_us())
         for channel, busy in enumerate(timelines.busy_times()):
             metrics.gauge("flash.channel_busy_us.%d" % channel).set(busy)
+        depths = timelines.max_depths()
+        for channel, depth in enumerate(depths):
+            metrics.gauge("flash.channel_qdepth_max.%d" % channel).set(depth)
         chips = self.device.chip_timelines
         metrics.gauge("flash.chip_busy_us_total").set(chips.total_busy_us())
         for chip, busy in enumerate(chips.busy_times()):
             metrics.gauge("flash.chip_busy_us.%d" % chip).set(busy)
+        chip_depths = chips.max_depths()
+        for chip, depth in enumerate(chip_depths):
+            metrics.gauge("flash.chip_qdepth_max.%d" % chip).set(depth)
+        # The headline queue-depth gauge covers both lane kinds: with
+        # the default zero-cost bus the chip queues are where commands
+        # actually stack up.
+        metrics.gauge("flash.qdepth_max").set(max(depths + chip_depths))
 
     def metrics_snapshot(self):
         """JSON-stable snapshot of every metric on this device."""
@@ -644,19 +671,65 @@ class BaseSSD:
         if self.scrubber is not None:
             self.scrubber.run(cursor, deadline_us)
 
+    def gc_round_cost_bound(self):
+        """Upper-bound cost of one GC round in microseconds.
+
+        Idle-window admission and the scheduler's background-gc task both
+        budget rounds with it: a full block migration (read + program +
+        possible delta compression per page) plus the erase.
+        """
+        geo = self.device.geometry
+        timing = self.device.timing
+        return (
+            geo.pages_per_block
+            * (timing.read_us + timing.program_us + timing.delta_compress_us)
+            + timing.erase_us
+        )
+
+    def background_gc_step(self, now_us):
+        """One scheduler-driven background GC round (the async core's
+        background-gc task body).
+
+        Runs at most one round, and only while the free pool sits below
+        the idle-refill target.  Returns the round's cost bound in
+        microseconds, or 0 when there was nothing to do — the task
+        sleeps on 0 instead of spinning.
+        """
+        if not self.config.background_gc or self.degraded_reason is not None:
+            return 0
+        target = self.BACKGROUND_GC_HEADROOM * self.config.gc_low_watermark
+        if self.block_manager.free_block_count >= target:
+            return 0
+        self._gc_is_background = True
+        try:
+            try:
+                self._collect_garbage(now_us)
+            except DeviceFullError:
+                return 0
+            self.background_gc_runs += 1
+            self._m_background_gc_runs.inc()
+        finally:
+            self._gc_is_background = False
+        return self.gc_round_cost_bound()
+
+    def background_scrub_step(self, now_us, budget_us):
+        """One scheduler-driven patrol-scrub window of ``budget_us``.
+
+        Returns the simulated time the pass consumed (0 when scrubbing
+        is disabled or nothing needed patrol).
+        """
+        if self.scrubber is None:
+            return 0
+        end = self.scrubber.run(now_us, now_us + budget_us)
+        return end - now_us
+
     def _background_collect(self, start_us, deadline_us):
         """GC rounds during idle, budgeted by an upper-bound round cost.
 
         Returns the time cursor where the window's remaining budget
         starts (TimeSSD continues with background compression from it).
         """
-        geo = self.device.geometry
-        timing = self.device.timing
-        round_bound = (
-            geo.pages_per_block
-            * (timing.read_us + timing.program_us + timing.delta_compress_us)
-            + timing.erase_us
-        )
+        round_bound = self.gc_round_cost_bound()
         target = self.BACKGROUND_GC_HEADROOM * self.config.gc_low_watermark
         t = start_us
         self._gc_is_background = True

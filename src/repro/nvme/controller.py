@@ -124,6 +124,11 @@ class NVMeController:
         overlaps: slot ``i % queue_depth`` issues its next command as
         soon as its previous one completes.
 
+        This is the *analytic* overlap model (static slot cursors, no
+        scheduler); :class:`~repro.nvme.engine.AsyncNVMeEngine` is the
+        event-driven one.  Both apply commands through
+        :meth:`execute_io`, so their QD=1 semantics coincide.
+
         Returns ``(completions, elapsed_us)``; only READ/WRITE/DSM are
         accepted (vendor commands are host-serial by nature).
         """
@@ -134,90 +139,81 @@ class NVMeController:
         cursors = [arrival] * queue_depth
         completions = []
         for i, command in enumerate(commands):
-            self.commands_processed += 1
             slot = i % queue_depth
-            start = cursors[slot]
-            try:
-                self._check_range(command)
-                cursors[slot] = self._batch_one(command, start)
-            except AddressError:
-                completions.append(
-                    self._complete(
-                        command, NVMeCompletion(StatusCode.LBA_OUT_OF_RANGE)
-                    )
-                )
-                continue
-            except DegradedModeError:
-                completions.append(
-                    self._complete(
-                        command, NVMeCompletion(StatusCode.DEGRADED_READ_ONLY)
-                    )
-                )
-                continue
-            except RetentionViolationError:
-                completions.append(
-                    self._complete(
-                        command, NVMeCompletion(StatusCode.RETENTION_PROTECTED)
-                    )
-                )
-                continue
-            except UncorrectableReadError:
-                completions.append(
-                    self._complete(
-                        command, NVMeCompletion(StatusCode.MEDIA_UNRECOVERED_READ)
-                    )
-                )
-                continue
-            except ProgramFailureError:
-                completions.append(
-                    self._complete(
-                        command, NVMeCompletion(StatusCode.MEDIA_WRITE_FAULT)
-                    )
-                )
-                continue
-            except _InvalidOpcode:
-                completions.append(
-                    self._complete(
-                        command, NVMeCompletion(StatusCode.INVALID_OPCODE)
-                    )
-                )
-                continue
-            completions.append(
-                self._complete(
-                    command,
-                    NVMeCompletion(
-                        StatusCode.SUCCESS, None, latency_us=cursors[slot] - start
-                    ),
-                )
-            )
+            completion, end = self.execute_io(command, cursors[slot])
+            cursors[slot] = end
+            completions.append(completion)
         end = max(cursors)
         ssd.clock.advance_to(end)
         return completions, end - arrival
 
-    def _batch_one(self, command, start_us):
-        """Apply one batched command starting at ``start_us``; returns
-        its completion time."""
+    def execute_io(self, command, start_us):
+        """Apply one I/O command with its own time cursor.
+
+        The shared executor behind :meth:`submit_batch` and the async
+        engine's slot workers: the command applies as one atomic step
+        starting at ``start_us``, and device errors map to NVMe statuses
+        instead of raising.  Returns ``(completion, end_us)``; a failed
+        command completes immediately, leaving ``end_us == start_us`` so
+        the issuing slot does not lose its cursor.
+        """
+        self.commands_processed += 1
+        try:
+            self._check_range(command)
+            result, end = self._apply_io(command, start_us)
+        except (
+            AddressError,
+            DegradedModeError,
+            RetentionViolationError,
+            UncorrectableReadError,
+            ProgramFailureError,
+        ) as exc:
+            return (
+                self._complete(command, NVMeCompletion(_status_for(exc))),
+                start_us,
+            )
+        except _InvalidOpcode:
+            return (
+                self._complete(command, NVMeCompletion(StatusCode.INVALID_OPCODE)),
+                start_us,
+            )
+        except _InvalidField:
+            return (
+                self._complete(command, NVMeCompletion(StatusCode.INVALID_FIELD)),
+                start_us,
+            )
+        return (
+            self._complete(
+                command,
+                NVMeCompletion(
+                    StatusCode.SUCCESS, result, latency_us=end - start_us
+                ),
+            ),
+            end,
+        )
+
+    def _apply_io(self, command, start_us):
+        """Apply one queued command starting at ``start_us``; returns
+        ``(result, complete_us)``."""
         ssd = self.ssd
         t = start_us
         if command.opcode == Opcode.READ:
+            pages = []
             for i in range(command.nlb):
-                ppa = ssd.mapping.lookup(command.slba + i)
-                ssd.host_pages_read += 1
-                if ppa == NULL_PPA:
-                    continue
-                t = ssd.device.read_page(ppa, t).complete_us
-            return t
+                data, t = ssd.serve_read_at(command.slba + i, t)
+                pages.append(data)
+            return pages, t
         if command.opcode == Opcode.WRITE:
             ssd.ensure_writable()
             for i in range(command.nlb):
                 data = command.data[i] if command.data is not None else None
                 t = ssd.serve_write_at(command.slba + i, data, t)
-            return t
+            return command.nlb, t
         if command.opcode == Opcode.DSM:
             ssd.ensure_writable()
             for i in range(command.nlb):
                 ssd.serve_trim_at(command.slba + i, t)
-            return t
+            return command.nlb, t
         raise _InvalidOpcode()
 
     # --- Admin commands ---------------------------------------------------------
@@ -349,6 +345,27 @@ class NVMeController:
         Opcode.ROLLBACK_ALL: _op_rollback_all,
         Opcode.RETENTION_INFO: _op_retention_info,
     }
+
+
+#: Device-error to NVMe-status mapping shared by every submission path.
+#: Order matters only for documentation: DegradedModeError and
+#: RetentionViolationError are sibling DeviceFullErrors, and the
+#: ``isinstance`` walk below checks most-specific classes first.
+_STATUS_BY_ERROR = (
+    (AddressError, StatusCode.LBA_OUT_OF_RANGE),
+    (DegradedModeError, StatusCode.DEGRADED_READ_ONLY),
+    (RetentionViolationError, StatusCode.RETENTION_PROTECTED),
+    (UncorrectableReadError, StatusCode.MEDIA_UNRECOVERED_READ),
+    (ProgramFailureError, StatusCode.MEDIA_WRITE_FAULT),
+)
+
+
+def _status_for(exc):
+    """NVMe status code for a device-level error."""
+    for error_cls, status in _STATUS_BY_ERROR:
+        if isinstance(exc, error_cls):
+            return status
+    raise TypeError("no NVMe status for %r" % (exc,))
 
 
 class _InvalidOpcode(Exception):

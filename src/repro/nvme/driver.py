@@ -10,6 +10,7 @@ success status so callers don't silently drop errors.
 from repro.common.errors import ReproError
 from repro.nvme.commands import AdminOpcode, NVMeCommand, Opcode, StatusCode
 from repro.nvme.controller import NVMeController
+from repro.nvme.engine import AsyncNVMeEngine
 
 
 class NVMeError(ReproError):
@@ -62,6 +63,28 @@ class HostNVMeDriver:
     def submit_batch(self, commands, queue_depth=8):
         """Queue-depth > 1 submission; returns (completions, elapsed_us)."""
         return self.controller.submit_batch(commands, queue_depth)
+
+    def submit_async(self, commands, queue_depth=8, queue_pairs=1,
+                     tie_break=None, daemons=False, retention_target_us=None):
+        """Event-driven submission: returns (completions, elapsed_us).
+
+        Builds an :class:`AsyncNVMeEngine` over this driver's controller
+        (so per-opcode metrics aggregate in one place) and drains the
+        command list through it.  With ``daemons=True`` the device's
+        background tasks run on the same loop and interleave with the
+        I/O; ``tie_break`` selects the schedule (see
+        ``repro.sched.core.SeededTieBreak``).
+        """
+        engine = AsyncNVMeEngine(
+            self.controller.ssd,
+            queue_depth=queue_depth,
+            queue_pairs=queue_pairs,
+            tie_break=tie_break,
+            controller=self.controller,
+        )
+        if daemons:
+            engine.install_daemons(retention_target_us=retention_target_us)
+        return engine.process(commands)
 
     # --- TimeKits vendor commands --------------------------------------------------
 

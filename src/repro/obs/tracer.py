@@ -20,8 +20,9 @@ from repro.common.units import TimeUs
 __all__ = ["CATEGORIES", "EventTracer"]
 
 #: The closed set of event categories (ISSUE 4 tentpole; "scrub" added
-#: with the patrol scrubber in ISSUE 7).
-CATEGORIES = ("flash-op", "gc", "delta", "expire", "fault", "nvme", "scrub")
+#: with the patrol scrubber in ISSUE 7, "sched" with the event-driven
+#: core in ISSUE 9).
+CATEGORIES = ("flash-op", "gc", "delta", "expire", "fault", "nvme", "scrub", "sched")
 
 _CATEGORY_SET = frozenset(CATEGORIES)
 

@@ -1,0 +1,362 @@
+"""Deterministic discrete-event scheduler on :class:`SimClock`.
+
+The event loop is the concurrency substrate the async device core runs
+on (ROADMAP item 1): an event heap keyed by ``(t_us, tie, seq)`` and
+cooperative tasks written as plain generators.  A task yields *wait
+instructions* — :class:`Delay`, :class:`At`, :class:`Acquire`,
+:class:`Release`, :class:`Join` — and the loop resumes it when the wait
+is satisfied, advancing the shared clock to each event's timestamp.
+
+Determinism is the design center, not an afterthought:
+
+* Every event carries a monotonically increasing sequence number, so
+  two events at the same microsecond have a total order (FIFO by
+  default).  There is no wall clock, no global RNG, no id()-ordering.
+* The tie component of the heap key comes from a pluggable
+  :class:`TieBreak`.  The default (:class:`FifoTieBreak`) preserves
+  submission order; :class:`SeededTieBreak` permutes same-timestamp
+  events with a pure integer hash so the schedule fuzzer
+  (``tests/sched``) can explore alternative legal interleavings while
+  staying bit-reproducible per seed.
+* Tasks may only suspend *between* atomic sections (enforced statically
+  by the ``concurrency-yield-in-atomic`` analyzer rule), so every
+  interleaving the loop can produce is one the interleaving contract
+  (docs/interleaving-contract.md) already declares safe.
+"""
+
+import heapq
+
+from repro.common.errors import ReproError
+
+
+class SchedulerError(ReproError):
+    """A task misused the scheduler (bad yield, lane protocol breach)."""
+
+
+# --- Wait instructions ---------------------------------------------------------
+#
+# Instances of these classes are what tasks yield.  They are deliberately
+# tiny value objects: the loop interprets them, tasks never call back
+# into the loop directly.  Their constructors are registered as
+# scheduler-yield primitives in the concurrency model
+# (``SCHEDULER_YIELD_QUALNAMES``) so constructing one inside an
+# ``@atomic_section`` fails the deep lint.
+
+
+class Delay:
+    """Resume this task ``delta_us`` microseconds from now."""
+
+    __slots__ = ("delta_us",)
+
+    def __init__(self, delta_us):
+        if not isinstance(delta_us, int) or isinstance(delta_us, bool):
+            raise SchedulerError(
+                "Delay takes integer microseconds, got %r" % (delta_us,)
+            )
+        if delta_us < 0:
+            raise SchedulerError("cannot delay by a negative duration")
+        self.delta_us = delta_us
+
+
+class At:
+    """Resume this task at ``t_us`` (immediately if already past)."""
+
+    __slots__ = ("t_us",)
+
+    def __init__(self, t_us):
+        if not isinstance(t_us, int) or isinstance(t_us, bool):
+            raise SchedulerError(
+                "At takes an integer microsecond timestamp, got %r" % (t_us,)
+            )
+        self.t_us = t_us
+
+
+class Acquire:
+    """Suspend until the lane is free, then hold it."""
+
+    __slots__ = ("lane",)
+
+    def __init__(self, lane):
+        self.lane = lane
+
+
+class Release:
+    """Hand the lane to its earliest waiter (FIFO) and keep running."""
+
+    __slots__ = ("lane",)
+
+    def __init__(self, lane):
+        self.lane = lane
+
+
+class Join:
+    """Suspend until ``task`` completes; resumes with its result."""
+
+    __slots__ = ("task",)
+
+    def __init__(self, task):
+        self.task = task
+
+
+# --- Tie-breaking --------------------------------------------------------------
+
+
+class FifoTieBreak:
+    """Same-timestamp events run in submission order (the default)."""
+
+    def key(self, t_us, seq):
+        return 0
+
+
+class SeededTieBreak:
+    """Permute same-timestamp event order with a pure integer hash.
+
+    The schedule fuzzer's knob: each seed induces one deterministic
+    alternative ordering of events that share a timestamp.  The mix is
+    a splitmix64-style avalanche over ``(seed, t_us, seq)`` — no
+    ``random`` module, no process-dependent hashing — so the same seed
+    explores the same interleaving on every run and platform.
+    """
+
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, seed):
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise SchedulerError("tie-break seed must be an int")
+        self.seed = seed
+
+    def key(self, t_us, seq):
+        z = (self.seed * 0x9E3779B97F4A7C15 + t_us * 0xBF58476D1CE4E5B9
+             + seq * 0x94D049BB133111EB) & self._MASK
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & self._MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & self._MASK
+        return z ^ (z >> 31)
+
+
+# --- Tasks ---------------------------------------------------------------------
+
+
+class Task:
+    """One cooperative task: a generator plus its scheduling state."""
+
+    __slots__ = (
+        "name",
+        "root",
+        "gen",
+        "daemon",
+        "done",
+        "result",
+        "joiners",
+        "held_lanes",
+    )
+
+    def __init__(self, gen, name, root, daemon):
+        self.gen = gen
+        self.name = name
+        #: Task-root name from the interleaving contract (trace label).
+        self.root = root
+        #: Daemon tasks never keep the loop alive: once every non-daemon
+        #: task has finished, pending daemon events are discarded.
+        self.daemon = daemon
+        self.done = False
+        self.result = None
+        self.joiners = []
+        self.held_lanes = []
+
+    def __repr__(self):
+        state = "done" if self.done else "pending"
+        return "Task(%s, %s)" % (self.name, state)
+
+
+class Lane:
+    """An exclusive resource with FIFO handoff (queue slot, append point).
+
+    Channel/chip *occupancy* stays in the flash timelines — a lane is
+    for host-side mutual exclusion, e.g. serializing submission-queue
+    consumption among the slot workers of one queue pair.
+    """
+
+    __slots__ = ("name", "holder", "waiters")
+
+    def __init__(self, name):
+        self.name = name
+        self.holder = None
+        self.waiters = []
+
+    @property
+    def free(self):
+        return self.holder is None
+
+    def __repr__(self):
+        holder = self.holder.name if self.holder is not None else "free"
+        return "Lane(%s, %s, %d waiting)" % (self.name, holder, len(self.waiters))
+
+
+# --- The loop ------------------------------------------------------------------
+
+
+class EventLoop:
+    """Runs tasks against a shared :class:`SimClock` until quiescence."""
+
+    def __init__(self, clock, tie_break=None, obs=None):
+        self.clock = clock
+        self._heap = []
+        self._seq = 0
+        self._tie = tie_break if tie_break is not None else FifoTieBreak()
+        #: Observability scope (metrics + trace) or None; sched events
+        #: land in the ``sched`` trace category.
+        self.obs = obs
+        #: Non-daemon tasks not yet finished: the loop's liveness count.
+        self._live = 0
+        self.events_dispatched = 0
+        self.tasks_spawned = 0
+
+    @property
+    def now_us(self):
+        return self.clock.now_us
+
+    # --- Spawning and scheduling ------------------------------------------
+
+    def spawn(self, gen, name, root="task", daemon=False, at_us=None):
+        """Register a generator as a task; it first runs at ``at_us``.
+
+        Returns the :class:`Task`.  ``at_us`` defaults to now; a time in
+        the past is clamped to now (the loop never travels backwards).
+        """
+        task = Task(gen, name, root, daemon)
+        self.tasks_spawned += 1
+        if not daemon:
+            self._live += 1
+        start = self.now_us if at_us is None else max(self.now_us, at_us)
+        self._push(task, start, None)
+        self._trace("task-spawn", start, task=name, root=root)
+        return task
+
+    def _push(self, task, t_us, send_value):
+        self._seq += 1
+        heapq.heappush(
+            self._heap,
+            (t_us, self._tie.key(t_us, self._seq), self._seq, task, send_value),
+        )
+
+    # --- Running ----------------------------------------------------------
+
+    def run(self, until_us=None):
+        """Dispatch events until no non-daemon work remains.
+
+        With ``until_us`` the loop additionally stops before dispatching
+        any event past that time (the event stays queued).  Returns the
+        number of events dispatched by this call.
+        """
+        dispatched = 0
+        while self._heap and self._live > 0:
+            entry = self._heap[0]
+            if until_us is not None and entry[0] > until_us:
+                break
+            heapq.heappop(self._heap)
+            t_us, _tie, _seq, task, value = entry
+            if task.done:
+                continue
+            self.clock.advance_to(t_us)
+            self.events_dispatched += 1
+            dispatched += 1
+            self._step(task, value)
+        return dispatched
+
+    def _step(self, task, value):
+        """Resume one task and interpret the instruction it yields."""
+        try:
+            instruction = task.gen.send(value)
+        except StopIteration as stop:
+            self._finish(task, stop.value)
+            return
+        if isinstance(instruction, Delay):
+            self._push(task, self.now_us + instruction.delta_us, None)
+        elif isinstance(instruction, At):
+            self._push(task, max(self.now_us, instruction.t_us), None)
+        elif isinstance(instruction, Acquire):
+            self._acquire(task, instruction.lane)
+        elif isinstance(instruction, Release):
+            self._release(task, instruction.lane)
+        elif isinstance(instruction, Join):
+            self._join(task, instruction.task)
+        else:
+            raise SchedulerError(
+                "task %s yielded %r; tasks must yield a wait instruction"
+                % (task.name, instruction)
+            )
+
+    def _finish(self, task, result):
+        if task.held_lanes:
+            raise SchedulerError(
+                "task %s finished still holding %s"
+                % (task.name, ", ".join(l.name for l in task.held_lanes))
+            )
+        task.done = True
+        task.result = result
+        if not task.daemon:
+            self._live -= 1
+        self._trace("task-done", self.now_us, task=task.name, root=task.root)
+        for joiner in task.joiners:
+            self._push(joiner, self.now_us, result)
+        task.joiners = []
+
+    def _acquire(self, task, lane):
+        if lane.holder is None:
+            lane.holder = task
+            task.held_lanes.append(lane)
+            self._push(task, self.now_us, lane)
+        else:
+            lane.waiters.append(task)
+
+    def _release(self, task, lane):
+        if lane.holder is not task:
+            raise SchedulerError(
+                "task %s released lane %s held by %s"
+                % (
+                    task.name,
+                    lane.name,
+                    lane.holder.name if lane.holder else "nobody",
+                )
+            )
+        task.held_lanes.remove(lane)
+        if lane.waiters:
+            next_task = lane.waiters.pop(0)
+            lane.holder = next_task
+            next_task.held_lanes.append(lane)
+            self._push(next_task, self.now_us, lane)
+        else:
+            lane.holder = None
+        # The releasing task keeps running in the same dispatch slot.
+        self._push(task, self.now_us, None)
+
+    def _join(self, task, target):
+        if target.done:
+            self._push(task, self.now_us, target.result)
+        else:
+            target.joiners.append(task)
+
+    # --- Introspection ----------------------------------------------------
+
+    @property
+    def idle(self):
+        """True when no non-daemon task has a pending event."""
+        return self._live == 0
+
+    def pending_events(self):
+        """Number of queued (undispatched) events, daemons included."""
+        return len(self._heap)
+
+    def _trace(self, name, t_us, **detail):
+        if self.obs is None:
+            return
+        tr = self.obs.trace
+        if tr.enabled:
+            tr.emit("sched", name, t_us, **detail)
+
+    def __repr__(self):
+        return "EventLoop(t=%d us, %d live, %d queued)" % (
+            self.now_us,
+            self._live,
+            len(self._heap),
+        )

@@ -356,6 +356,33 @@ class TimeSSD(BaseSSD):
 
     # --- Background (idle) compression -------------------------------------------
 
+    def background_compress_step(self, now_us, budget_us):
+        """One scheduler-driven delta-compression window of ``budget_us``
+        (the async core's background-compression task body).
+
+        Returns the simulated time consumed — 0 when compression is
+        disabled or no retained page needed work, so the task can sleep
+        instead of spinning.
+        """
+        if not (self.config.background_compression and self.config.delta_compression):
+            return 0
+        end = self._background_compress(now_us, now_us + budget_us)
+        return end - now_us
+
+    def expire_retention_step(self, now_us, target_window_us):
+        """Shrink the retention window one segment toward a target (the
+        async core's retention-expiry task body).
+
+        Drops the oldest bloom segment only while the achieved window
+        exceeds ``target_window_us`` and the floor guarantee permits.
+        Returns True when a segment was dropped (the task calls again
+        immediately), False when the window is at or under target or the
+        floor refused the shrink.
+        """
+        if self.retention_window_us() <= target_window_us:
+            return False
+        return self._shrink_retention(now_us) is not None
+
     def _background_compress(self, start_us, deadline_us):
         """Compress retained pages during a predicted-idle window (§3.6).
 

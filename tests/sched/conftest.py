@@ -1,0 +1,88 @@
+"""Shared helpers for the scheduler/async-engine tests.
+
+The ring workload generator is deliberately *order-insensitive within a
+ring*: every ring touches each LBA at most once, so any legal
+interleaving of the ring's commands (any tie-break seed) must produce
+the same logical device state.  That is what lets the schedule fuzzer
+use a plain dict as its differential oracle.
+"""
+
+import random
+
+from repro.nvme.commands import NVMeCommand, Opcode
+
+
+def page_payload(seed, ring, lba):
+    """Deterministic page content tagging (seed, ring, lba)."""
+    return b"s%d/r%d/l%d" % (seed, ring, lba)
+
+
+def build_ring(rng, seed, ring, span, size, model):
+    """One submission ring plus its expected effect on ``model``.
+
+    LBAs are drawn from ``range(span)`` without replacement, so within
+    a ring no two commands alias and any completion order yields the
+    same final state.  Returns ``(commands, checks)``: ``checks`` pairs
+    READ command indices with their LBA, to be verified against the
+    *pre-ring* model.
+    """
+    lbas = rng.sample(range(span), min(size, span))
+    commands = []
+    checks = []
+    for lba in lbas:
+        choice = rng.random()
+        if choice < 0.55 or ring == 0:
+            payload = page_payload(seed, ring, lba)
+            commands.append(
+                NVMeCommand(Opcode.WRITE, slba=lba, nlb=1, data=[payload])
+            )
+            model[lba] = payload
+        elif choice < 0.85:
+            commands.append(NVMeCommand(Opcode.READ, slba=lba, nlb=1))
+            checks.append((len(commands) - 1, lba))
+        else:
+            commands.append(NVMeCommand(Opcode.DSM, slba=lba, nlb=1))
+            model[lba] = None
+    return commands, checks
+
+
+def run_rings(engine, seed, rings, ring_size, span, gap_us=0, model=None):
+    """Drive ``rings`` rings through ``engine``, asserting read-your-
+    writes as each ring drains.
+
+    Returns ``(model, statuses)``: the final expected device contents
+    and the flat per-command status-name list (submission order), for
+    differential comparison across devices.
+    """
+    if model is None:
+        model = {}
+    statuses = []
+    rng = random.Random(seed)
+    for ring in range(rings):
+        before = dict(model)
+        commands, checks = build_ring(rng, seed, ring, span, ring_size, model)
+        completions, _elapsed = engine.process(commands)
+        statuses.extend(c.status.name for c in completions)
+        for index, lba in checks:
+            completion = completions[index]
+            assert completion.ok, (seed, ring, lba, completion.status)
+            assert completion.result[0] == before.get(lba), (seed, ring, lba)
+        if gap_us:
+            engine.ssd.clock.advance(gap_us)
+    return model, statuses
+
+
+def readback(engine, model, chunk=64):
+    """Read every modeled LBA back through the engine; returns
+    ``{lba: page}`` in model-key order."""
+    lbas = sorted(model)
+    seen = {}
+    for base in range(0, len(lbas), chunk):
+        batch = lbas[base:base + chunk]
+        completions, _ = engine.process(
+            [NVMeCommand(Opcode.READ, slba=lba, nlb=1) for lba in batch]
+        )
+        for lba, completion in zip(batch, completions):
+            assert completion.ok, (lba, completion.status)
+            seen[lba] = completion.result[0]
+    return seen
