@@ -72,11 +72,17 @@ def _violation_from_dict(data):
 class ResultCache:
     """One lint run's view of the cache directory."""
 
-    def __init__(self, directory, rule_ids):
+    def __init__(self, directory, rule_ids, extra=""):
         self.directory = directory
         signature = hashlib.sha256()
         signature.update(analyzer_version().encode("utf-8"))
         signature.update("\x00".join(sorted(rule_ids)).encode("utf-8"))
+        if extra:
+            # Out-of-tree inputs a rule reads (the metric catalog):
+            # their content must key the cache too, or a docs-only
+            # edit would serve stale findings.
+            signature.update(b"\x00")
+            signature.update(extra.encode("utf-8"))
         self.signature = signature.hexdigest()[:16]
         self._shallow_path = os.path.join(
             directory, "shallow-%s.json" % self.signature

@@ -180,9 +180,37 @@ def _walk(graph, starts, stop_at=frozenset(), confident_only=False):
     return parent
 
 
+#: Public name for the reachability walk; the shared-state inventory
+#: and the yield analysis (:mod:`.yields`) both traverse with it so
+#: every concurrency pass agrees on what "reachable from a root" means.
+walk = _walk
+
+
 def _is_dunder(qualname):
     short = qualname.rsplit(".", 1)[-1]
     return short.startswith("__") and short.endswith("__")
+
+
+def shallow_walk(node):
+    """``ast.walk`` that does not descend into nested scopes.
+
+    A ``yield`` inside a nested ``def`` belongs to the nested function,
+    not the enclosing one — ``ast.walk`` would conflate them and mark a
+    factory that *builds* a generator as being one itself.  The root
+    node is yielded even when it is itself a function definition.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                 ast.ClassDef),
+            ):
+                continue
+            stack.append(child)
 
 
 def _chain(parent, qualname):
@@ -314,12 +342,15 @@ def _walk_from(graph, parent, order):
     return order
 
 
-def yield_findings(analysis, index):
+def yield_findings(analysis, index, task_generators=frozenset()):
     """``await``/scheduler-yield sites inside atomic regions.
 
     The region of a section is the section plus everything confidently
     reachable from it; a yield anywhere in the region suspends the task
-    mid-invariant."""
+    mid-invariant.  ``task_generators`` (from the yield analysis) adds
+    plain ``yield``/``yield from`` statements of scheduler task
+    generators to the site set — a data generator's yields hand values
+    to a same-task consumer and stay exempt."""
     graph = analysis.graph
     atomic = sorted(index.sections)
     if not atomic:
@@ -333,7 +364,7 @@ def yield_findings(analysis, index):
             info = graph.functions.get(qualname)
             if info is None:
                 continue
-            for node, core in _yield_sites(graph, info):
+            for node, core in _yield_sites(graph, info, task_generators):
                 key = (info.module, node.lineno, node.col_offset, core)
                 owners.setdefault(key, (node, set()))[1].add(section)
     findings = []
@@ -356,12 +387,13 @@ def yield_findings(analysis, index):
     return findings
 
 
-def _yield_sites(graph, info):
+def _yield_sites(graph, info, task_generators=frozenset()):
     """(node, description) for each suspension point in one function."""
     sites = []
     if isinstance(info.node, ast.AsyncFunctionDef):
         sites.append((info.node, "async def %s" % info.qualname))
-    for node in ast.walk(info.node):
+    is_task_generator = info.qualname in task_generators
+    for node in shallow_walk(info.node):
         if isinstance(node, ast.Await):
             sites.append((node, "await in %s" % info.qualname))
         elif isinstance(node, (ast.AsyncFor, ast.AsyncWith)):
@@ -369,6 +401,12 @@ def _yield_sites(graph, info):
                 "async with"
             )
             sites.append((node, "%s in %s" % (kind, info.qualname)))
+        elif is_task_generator and isinstance(
+            node, (ast.Yield, ast.YieldFrom)
+        ):
+            sites.append(
+                (node, "task-generator yield in %s" % info.qualname)
+            )
     if SCHEDULER_YIELD_QUALNAMES:
         # Confident edges only, mirroring the re-entrancy rule: every
         # ``__init__`` in the project resolves from an ambiguous

@@ -155,6 +155,19 @@ def schedulable_roots():
     )
 
 
+#: Wait-instruction constructors by kind.  A task generator yields an
+#: instance of one of these classes; the loop interprets it.  The kind
+#: names are what the yield analysis (:mod:`.yields`) dispatches on:
+#: ``acquire``/``release`` drive the lane-discipline rules, everything
+#: is a suspension point for the staleness rule.
+WAIT_INSTRUCTION_KINDS = {
+    "repro.sched.core.Delay": "delay",
+    "repro.sched.core.At": "at",
+    "repro.sched.core.Acquire": "acquire",
+    "repro.sched.core.Release": "release",
+    "repro.sched.core.Join": "join",
+}
+
 #: Functions that suspend the running task under the event-loop
 #: scheduler (``repro.sched``).  Constructing a wait instruction is the
 #: yield: tasks build one and ``yield`` it to the loop, so any call to
@@ -164,19 +177,34 @@ def schedulable_roots():
 #: the call graph records class-constructor edges in either form.
 #: ``await`` expressions are always treated as yields regardless.
 SCHEDULER_YIELD_QUALNAMES = frozenset(
-    {
-        "repro.sched.core.Delay",
-        "repro.sched.core.Delay.__init__",
-        "repro.sched.core.At",
-        "repro.sched.core.At.__init__",
-        "repro.sched.core.Acquire",
-        "repro.sched.core.Acquire.__init__",
-        "repro.sched.core.Release",
-        "repro.sched.core.Release.__init__",
-        "repro.sched.core.Join",
-        "repro.sched.core.Join.__init__",
-    }
+    qualname
+    for base in WAIT_INSTRUCTION_KINDS
+    for qualname in (base, base + ".__init__")
 )
+
+
+def wait_kind(qualname):
+    """The wait-instruction kind a constructor qualname builds, or None."""
+    if qualname.endswith(".__init__"):
+        qualname = qualname[: -len(".__init__")]
+    return WAIT_INSTRUCTION_KINDS.get(qualname)
+
+
+#: Spawn entry points: a generator passed (as first argument) to one of
+#: these becomes a scheduled task, which is how the yield analysis
+#: identifies *task* generators as opposed to plain data generators
+#: (``scan_oob`` yields pages to its consumer, not instructions to the
+#: loop — the task-generator protocol rules must not apply to it).
+SPAWN_QUALNAMES = frozenset({"repro.sched.core.EventLoop.spawn"})
+
+#: Policies whose derived values stay meaningful across a suspension.
+#: ``monotonic`` state tolerates any interleaving by declaration and
+#: ``owner-task`` state has exactly one writer at a time, so a local
+#: captured from either cannot go stale in a way that matters.  A local
+#: captured from ``turnstile`` state (or from written shared state with
+#: no declared policy at all) *can*: another task may run a whole
+#: atomic section between the capture and the use.
+STALE_TOLERANT_POLICIES = frozenset({"monotonic", "owner-task"})
 
 
 #: Receiver-name conventions for cross-object state access.  When a
@@ -375,6 +403,26 @@ POLICIES = (
         why=(
             "block/page state below FlashDevice shares the primitive-"
             "command granularity of the media model"
+        ),
+    ),
+    SharedStatePolicy(
+        owner="repro.nvme.queues.QueuePair",
+        attr="*",
+        policy="turnstile",
+        why=(
+            "ring push/fetch/post are each one statement between yields; "
+            "slot workers of one pair interleave only at their own "
+            "wait instructions, never mid-ring-operation"
+        ),
+    ),
+    SharedStatePolicy(
+        owner="repro.nvme.engine.AsyncNVMeEngine",
+        attr="*",
+        policy="turnstile",
+        why=(
+            "engine counters (inflight, high-water mark) mutate in "
+            "single statements; every slot worker re-reads them after "
+            "its wait instead of caching across a yield"
         ),
     ),
     SharedStatePolicy(

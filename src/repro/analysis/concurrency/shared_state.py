@@ -70,6 +70,29 @@ def _family_root(graph, class_qualname):
     return graph.mro(class_qualname)[-1]
 
 
+def owner_of(graph, info, receiver):
+    """Owner qualname for an attribute receiver expression, or None.
+
+    The one receiver-resolution convention of the concurrency tier,
+    shared by the inventory scan here and the staleness/lane tracking
+    in :mod:`.yields`: ``self``/``cls`` resolve to the method's family
+    root, ``self.field`` through the call graph's attribute typing, and
+    bare parameter/local names through the
+    :data:`~repro.analysis.concurrency.model.STATE_OWNERS` conventions.
+    """
+    if isinstance(receiver, ast.Name):
+        if receiver.id in ("self", "cls") and info.is_method:
+            return _family_root(graph, info.class_qualname)
+        return model.STATE_OWNERS.get(receiver.id)
+    chain = dotted(receiver)
+    if chain and len(chain) == 2 and chain[0] == "self" and info.is_method:
+        types = graph.attr_types_for(info.class_qualname, chain[1])
+        if types:
+            return _family_root(graph, sorted(types)[0])
+        return model.STATE_OWNERS.get(chain[1])
+    return None
+
+
 class _AccessScan(ast.NodeVisitor):
     """Collect (owner, attr, is_write, line) accesses in one function."""
 
@@ -82,30 +105,8 @@ class _AccessScan(ast.NodeVisitor):
             if isinstance(node, ast.Global):
                 self._globals.update(node.names)
 
-    # -- receiver resolution --
-
-    def _owner_of(self, receiver):
-        """Owner qualname for an attribute receiver expression, or None."""
-        info = self._info
-        if isinstance(receiver, ast.Name):
-            if receiver.id in ("self", "cls") and info.is_method:
-                return _family_root(self._graph, info.class_qualname)
-            return model.STATE_OWNERS.get(receiver.id)
-        chain = dotted(receiver)
-        if (
-            chain
-            and len(chain) == 2
-            and chain[0] == "self"
-            and info.is_method
-        ):
-            types = self._graph.attr_types_for(info.class_qualname, chain[1])
-            if types:
-                return _family_root(self._graph, sorted(types)[0])
-            return model.STATE_OWNERS.get(chain[1])
-        return None
-
     def _record(self, receiver, attr, is_write, line):
-        owner = self._owner_of(receiver)
+        owner = owner_of(self._graph, self._info, receiver)
         if owner is not None:
             self.accesses.append((owner, attr, is_write, line))
 
@@ -216,6 +217,34 @@ def build_inventory(project):
         return inventory
 
     return project.cached("shared_state_inventory", build)
+
+
+def stale_sensitive_keys(project):
+    """(owner, attr) pairs whose derived locals can go stale at a yield.
+
+    Exactly the written inventory minus the policies that declare
+    interleaving-tolerance (:data:`model.STALE_TOLERANT_POLICIES`):
+    turnstile state is consistent only *between* atomic sections, so a
+    local captured from it before a suspension may describe a world
+    that no longer exists after — which is what
+    ``concurrency-stale-read-after-yield`` (:mod:`.yields`) checks.
+    Unpolicied written state counts as sensitive too; the inventory
+    rules decide separately whether it also needs a policy.
+    """
+
+    def build():
+        keys = set()
+        for record in build_inventory(project).records:
+            policy = record.policy
+            if (
+                policy is not None
+                and policy.policy in model.STALE_TOLERANT_POLICIES
+            ):
+                continue
+            keys.add((record.owner, record.attr))
+        return frozenset(keys)
+
+    return project.cached("stale_sensitive_keys", build)
 
 
 def _schedulable_names():

@@ -1,0 +1,992 @@
+"""Scheduler-aware yield analysis (pure ``ast``).
+
+PR 9 made the device genuinely concurrent: cooperative generator tasks
+yield wait instructions (``Delay``/``At``/``Acquire``/``Release``/
+``Join``) to a deterministic event loop, and every yield is a point
+where *any* other schedulable task may run.  The atomicity tier
+(:mod:`.atomicity`) defends the regions between yields; this module
+defends the yields themselves, over the PR 5 call graph:
+
+* **May-yield set** — every function that can suspend the running
+  task, seeded from plain ``yield``/``yield from``/``await`` sites and
+  non-ambiguous calls to the wait-instruction constructors
+  (:data:`~repro.analysis.concurrency.model.SCHEDULER_YIELD_QUALNAMES`),
+  then propagated to callers through non-ambiguous call edges — the
+  same confident-edge discipline the atomicity rules use.  The set is
+  the contract surface (docs/interleaving-contract.md lists it per
+  task root); it deliberately over-approximates — under plain
+  generators only the task's own yields suspend it, but the table must
+  stay correct when a yield point is pushed down a call chain.
+
+* **Staleness across waits** (``concurrency-stale-read-after-yield``)
+  — flow-sensitive tracking, per task generator, of locals captured
+  from policy-classified shared mutable state (the written inventory of
+  :mod:`.shared_state`, minus interleaving-tolerant policies).  Using
+  such a local after a yield without re-reading it is the canonical
+  interleaving bug: the value describes a world another task may have
+  rewritten wholesale.  A local captured while holding a
+  :class:`~repro.sched.core.Lane` that is *still held* at the yield
+  stays fresh — the lane is the declared protection.
+
+* **Lane discipline** — ``concurrency-lane-leak`` (an ``Acquire``
+  without ``Release`` on some path, exception edges included),
+  ``concurrency-lane-double-acquire`` (re-acquiring a held lane
+  deadlocks the task on itself), and a static lane-order graph whose
+  cycles become ``concurrency-lane-order-cycle`` (deadlock potential).
+
+* **Task-generator protocol** — ``concurrency-bad-yield-value`` (the
+  loop rejects non-instruction yields at runtime; the lint rejects
+  them statically) and ``concurrency-return-in-daemon`` (a daemon that
+  returns silently stops its background service forever).
+
+Only *task* generators are analyzed: generators spawned onto the loop
+(first argument of :data:`model.SPAWN_QUALNAMES` calls), generators
+that yield wait-instruction constructions, and generators a task
+generator delegates to via ``yield from``.  Data generators —
+``scan_oob`` yielding pages to a same-task consumer — are exempt by
+construction: their yields transfer values, not control of the task.
+
+Known approximations, all on the safe-and-quiet side: statements are
+processed atomically (uses inside a statement that also yields are
+checked against the pre-yield state); ``break`` ends its path rather
+than jumping to the loop exit; exception edges into ``except``
+handlers merge the try-entry and try-exit states.  Anything the
+analysis cannot see (lanes passed through untracked expressions) is
+skipped, never guessed at.
+"""
+
+import ast
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.callgraph import dotted
+from repro.analysis.concurrency import model
+from repro.analysis.concurrency.atomicity import (
+    _line_anchor,
+    _raising_sites,
+    shallow_walk,
+)
+from repro.analysis.concurrency.shared_state import (
+    build_inventory,
+    owner_of,
+    stale_sensitive_keys,
+)
+from repro.analysis.effects import effect_analysis
+
+
+# --- The analysis object ------------------------------------------------------
+
+
+@dataclass
+class YieldAnalysis:
+    """Everything the yield/lane rules and the contract report consume."""
+
+    graph: object
+    #: qualname -> [(node, kind)] own suspension sites, source order;
+    #: kind is ``yield`` | ``yield from`` | ``await`` | ``wait-construct``.
+    own_sites: dict = field(default_factory=dict)
+    #: qualname -> one-line reason it is in the transitive may-yield set.
+    may_yield: dict = field(default_factory=dict)
+    #: qualname -> one-line reason it is a *task* generator.
+    task_generators: dict = field(default_factory=dict)
+    #: task generators spawned with ``daemon=True``.
+    daemons: frozenset = frozenset()
+    #: qualname -> {id(ast.Call): (resolved target qualnames,)}.
+    resolved: dict = field(default_factory=dict)
+
+
+def _wait_call_kind(graph, caller, resolved_map, node):
+    """Wait-instruction kind a call constructs (non-ambiguous), or None."""
+    for target in resolved_map.get(id(node), ()):
+        kind = model.wait_kind(target)
+        if kind is not None and (caller, target) not in graph.ambiguous_edges:
+            return kind
+    return None
+
+
+def _spawn_keyword(node, name):
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def _collect_own_sites(graph, qualname, info, resolved_map):
+    sites = []
+    for node in shallow_walk(info.node):
+        if isinstance(node, ast.Yield):
+            sites.append((node, "yield"))
+        elif isinstance(node, ast.YieldFrom):
+            sites.append((node, "yield from"))
+        elif isinstance(node, ast.Await):
+            sites.append((node, "await"))
+        elif isinstance(node, ast.Call):
+            if _wait_call_kind(graph, qualname, resolved_map, node):
+                sites.append((node, "wait-construct"))
+    sites.sort(key=lambda item: (item[0].lineno, item[0].col_offset))
+    return sites
+
+
+def yield_analysis(project):
+    """Build (and cache) the yield analysis for a project."""
+
+    def build():
+        analysis = effect_analysis(project)
+        graph = analysis.graph
+        out = YieldAnalysis(graph=graph)
+        for qualname, info in graph.functions.items():
+            resolved_map = {
+                id(node): tuple(targets)
+                for node, targets in graph.calls.get(qualname, ())
+            }
+            out.resolved[qualname] = resolved_map
+            sites = _collect_own_sites(graph, qualname, info, resolved_map)
+            if sites:
+                out.own_sites[qualname] = sites
+
+        # Transitive may-yield: seed with own sites, propagate to
+        # callers through non-ambiguous edges only (a dynamic-dispatch
+        # guess that a function suspends belongs in the unresolved
+        # report, not in the contract).
+        for qualname in sorted(out.own_sites):
+            node, kind = out.own_sites[qualname][0]
+            out.may_yield[qualname] = "own %s at line %d" % (
+                kind, node.lineno
+            )
+        callers_of = {}
+        for caller, callees in graph.edges.items():
+            for callee in callees:
+                if (caller, callee) in graph.ambiguous_edges:
+                    continue
+                callers_of.setdefault(callee, []).append(caller)
+        frontier = sorted(out.may_yield)
+        while frontier:
+            fresh = []
+            for callee in frontier:
+                for caller in sorted(callers_of.get(callee, ())):
+                    if caller not in out.may_yield:
+                        out.may_yield[caller] = "calls %s" % callee
+                        fresh.append(caller)
+            frontier = sorted(fresh)
+
+        # Task generators: (1) spawned onto the loop; (2) yielding
+        # wait-instruction constructions; (3) delegated to via
+        # ``yield from`` by another task generator (closure).
+        daemons = set()
+        for caller in sorted(graph.functions):
+            resolved_map = out.resolved[caller]
+            for node, targets in graph.calls.get(caller, ()):
+                if not any(q in model.SPAWN_QUALNAMES for q in targets):
+                    continue
+                arg = (
+                    node.args[0]
+                    if node.args
+                    else _spawn_keyword(node, "gen")
+                )
+                if not isinstance(arg, ast.Call):
+                    continue
+                for target in resolved_map.get(id(arg), ()):
+                    if target not in graph.functions:
+                        continue
+                    out.task_generators.setdefault(
+                        target, "spawned as a task by %s" % caller
+                    )
+                    flag = _spawn_keyword(node, "daemon")
+                    if (
+                        isinstance(flag, ast.Constant)
+                        and flag.value is True
+                    ):
+                        daemons.add(target)
+        for qualname in sorted(out.own_sites):
+            if qualname in out.task_generators:
+                continue
+            for node, kind in out.own_sites[qualname]:
+                if kind != "yield" or not isinstance(node.value, ast.Call):
+                    continue
+                if _wait_call_kind(
+                    graph, qualname, out.resolved[qualname], node.value
+                ):
+                    out.task_generators[qualname] = (
+                        "yields wait instructions"
+                    )
+                    break
+        changed = True
+        while changed:
+            changed = False
+            for qualname in sorted(out.task_generators):
+                for node, kind in out.own_sites.get(qualname, ()):
+                    if kind != "yield from" or not isinstance(
+                        node.value, ast.Call
+                    ):
+                        continue
+                    for target in out.resolved[qualname].get(
+                        id(node.value), ()
+                    ):
+                        if (
+                            target in graph.functions
+                            and target not in out.task_generators
+                        ):
+                            out.task_generators[target] = (
+                                "delegated to by %s" % qualname
+                            )
+                            changed = True
+        out.daemons = frozenset(daemons)
+        return out
+
+    return project.cached("yield_analysis", build)
+
+
+# --- Flow state ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Taint:
+    """One local derived from staleness-sensitive shared state."""
+
+    owner: str
+    attr: str
+    line: int  # capture site
+    held: frozenset  # lane keys held at capture
+    stale_line: object = None  # yield line that staled it, or None
+
+
+class _State:
+    """Abstract state at one program point (may-semantics on merge)."""
+
+    __slots__ = ("taints", "held", "live")
+
+    def __init__(self, taints=None, held=None, live=True):
+        self.taints = taints if taints is not None else {}
+        self.held = held if held is not None else {}
+        self.live = live
+
+    def copy(self):
+        return _State(dict(self.taints), dict(self.held), self.live)
+
+    def become(self, other):
+        self.taints = other.taints
+        self.held = other.held
+        self.live = other.live
+
+
+def _merge(a, b):
+    """Join two path states: stale-wins, may-held union."""
+    if not a.live:
+        return b.copy()
+    if not b.live:
+        return a.copy()
+    taints = dict(a.taints)
+    for name, taint in b.taints.items():
+        mine = taints.get(name)
+        if mine is None:
+            taints[name] = taint
+        elif mine.stale_line is None and taint.stale_line is not None:
+            taints[name] = taint
+    held = dict(b.held)
+    held.update(a.held)  # keep a's (earlier) acquire sites on conflict
+    return _State(taints, held, True)
+
+
+_HANDLERS = ("handlers",)  # sentinel frame on the protection stack
+
+
+# --- Per-task-generator scan --------------------------------------------------
+
+
+class _TaskScan:
+    """Staleness + lane discipline over one task generator's body."""
+
+    def __init__(self, analysis, yanal, info, sensitive):
+        self.analysis = analysis
+        self.graph = analysis.graph
+        self.info = info
+        self.sensitive = sensitive
+        self.resolved = yanal.resolved.get(info.qualname, {})
+        self.stale = set()  # (line, col, message)
+        self.leaks = set()
+        self.doubles = set()
+        self.edges = {}  # (held_key, acquired_key) -> line
+        self.local_names = self._local_names()
+        self.raising_lines = frozenset(
+            line for line, _exc, _via in _raising_sites(analysis, info)
+        )
+
+    def _local_names(self):
+        names = set()
+        args = self.info.node.args
+        for arg in (
+            args.posonlyargs + args.args + args.kwonlyargs
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            names.add(arg.arg)
+        for node in shallow_walk(self.info.node):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                names.add(node.id)
+        return names
+
+    # -- keys and classification --
+
+    def _lane_key(self, expr):
+        """(key, is_global) for a lane expression, or None if untracked."""
+        if isinstance(expr, ast.Attribute):
+            owner = owner_of(self.graph, self.info, expr.value)
+            if owner is not None:
+                return ("%s.%s" % (owner, expr.attr), True)
+            chain = dotted(expr)
+            if chain:
+                return (
+                    "%s:%s" % (self.info.qualname, ".".join(chain)),
+                    False,
+                )
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id not in self.local_names:
+                # Module-level lane object: global across this module.
+                return (
+                    "%s.%s" % (self.info.module.module, expr.id),
+                    True,
+                )
+            return ("%s:%s" % (self.info.qualname, expr.id), False)
+        return None
+
+    def _wait_kind(self, call):
+        return _wait_call_kind(
+            self.graph, self.info.qualname, self.resolved, call
+        )
+
+    def _sensitive_loads(self, expr):
+        out = []
+        for node in shallow_walk(expr):
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                owner = owner_of(self.graph, self.info, node.value)
+                if owner is not None and (owner, node.attr) in self.sensitive:
+                    out.append((owner, node.attr, node.lineno))
+        return sorted(out)
+
+    # -- driving --
+
+    def run(self):
+        state = _State()
+        self._block(self.info.node.body, state, ())
+        if state.live:
+            anchor = _line_anchor(self.info.node.lineno)
+            self._exit_check(state, anchor, (), "falls off the end")
+
+    def _block(self, stmts, state, protection):
+        for stmt in stmts:
+            if not state.live:
+                break
+            self._stmt(stmt, state, protection)
+
+    def _stmt(self, stmt, state, protection):
+        if isinstance(stmt, ast.If):
+            self._expr_effects(stmt.test, state, protection)
+            then_state = state.copy()
+            else_state = state.copy()
+            self._block(stmt.body, then_state, protection)
+            self._block(stmt.orelse, else_state, protection)
+            state.become(_merge(then_state, else_state))
+        elif isinstance(stmt, (ast.While, ast.For)):
+            self._loop(stmt, state, protection)
+        elif isinstance(stmt, ast.Try):
+            self._try(stmt, state, protection)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._expr_effects(item.context_expr, state, protection)
+                if item.optional_vars is not None:
+                    self._clear_targets([item.optional_vars], state)
+            self._block(stmt.body, state, protection)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr_effects(stmt.value, state, protection)
+            self._exit_check(
+                state, _line_anchor(stmt.lineno, stmt.col_offset + 1),
+                protection, "returns",
+            )
+            state.live = False
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._expr_effects(stmt.exc, state, protection)
+            self._raise_check(stmt.lineno, state, protection)
+            state.live = False
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            state.live = False
+        elif isinstance(
+            stmt,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+             ast.Global, ast.Nonlocal, ast.Import, ast.ImportFrom,
+             ast.Pass),
+        ):
+            return
+        else:
+            self._linear(stmt, state, protection)
+
+    def _loop(self, stmt, state, protection):
+        if isinstance(stmt, ast.For):
+            self._expr_effects(stmt.iter, state, protection)
+            loads = self._sensitive_loads(stmt.iter)
+        else:
+            self._expr_effects(stmt.test, state, protection)
+            loads = []
+        # Two passes so loop-carried state (a taint captured in
+        # iteration N, staled and used in iteration N+1) is seen;
+        # findings are sets, so re-scanning cannot duplicate them.
+        merged = state.copy()
+        for _ in range(2):
+            body_state = merged.copy()
+            if isinstance(stmt, ast.For):
+                self._assign_targets([stmt.target], loads, body_state)
+            self._block(stmt.body, body_state, protection)
+            merged = _merge(merged, body_state)
+        if stmt.orelse:
+            self._block(stmt.orelse, merged, protection)
+        if self._loops_forever(stmt):
+            merged.live = False
+        state.become(merged)
+
+    def _loops_forever(self, stmt):
+        if not isinstance(stmt, ast.While):
+            return False
+        test = stmt.test
+        if not (isinstance(test, ast.Constant) and bool(test.value)):
+            return False
+        return not any(
+            isinstance(node, ast.Break)
+            for body_stmt in stmt.body
+            for node in shallow_walk(body_stmt)
+        )
+
+    def _try(self, stmt, state, protection):
+        release_keys = self._release_keys(stmt.finalbody)
+        entry = state.copy()
+        body_protection = protection
+        if stmt.finalbody:
+            body_protection += (("finally", release_keys),)
+        if stmt.handlers:
+            body_protection += (_HANDLERS,)
+        self._block(stmt.body, state, body_protection)
+        handler_entry = _merge(entry, state)
+        handler_states = []
+        for handler in stmt.handlers:
+            handler_state = handler_entry.copy()
+            if handler.name:
+                handler_state.taints.pop(handler.name, None)
+            self._block(handler.body, handler_state, protection)
+            handler_states.append(handler_state)
+        if stmt.orelse and state.live:
+            self._block(stmt.orelse, state, protection)
+        merged = state
+        for handler_state in handler_states:
+            merged = _merge(merged, handler_state)
+        if stmt.finalbody:
+            self._block(stmt.finalbody, merged, protection)
+        state.become(merged)
+
+    def _release_keys(self, stmts):
+        """Lane keys released by ``yield Release(...)`` in a suite."""
+        keys = set()
+        for stmt in stmts:
+            for node in shallow_walk(stmt):
+                if not isinstance(node, ast.Yield):
+                    continue
+                value = node.value
+                if not isinstance(value, ast.Call):
+                    continue
+                if self._wait_kind(value) != "release":
+                    continue
+                lane = (
+                    value.args[0]
+                    if value.args
+                    else _spawn_keyword(value, "lane")
+                )
+                key_info = self._lane_key(lane) if lane is not None else None
+                if key_info is not None:
+                    keys.add(key_info[0])
+        return frozenset(keys)
+
+    # -- linear statements --
+
+    def _linear(self, stmt, state, protection):
+        self._expr_effects(stmt, state, protection)
+        if isinstance(stmt, ast.Assign):
+            self._assign_targets(
+                stmt.targets, self._sensitive_loads(stmt.value), state,
+                alias=stmt.value,
+            )
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign_targets(
+                [stmt.target], self._sensitive_loads(stmt.value), state,
+                alias=stmt.value,
+            )
+        elif isinstance(stmt, ast.AugAssign):
+            loads = self._sensitive_loads(stmt.value)
+            if loads and isinstance(stmt.target, ast.Name):
+                self._assign_targets([stmt.target], loads, state)
+        elif isinstance(stmt, ast.Delete):
+            self._clear_targets(stmt.targets, state)
+
+    def _expr_effects(self, node, state, protection):
+        """Raise check, stale-use check, then yields, for one node."""
+        self._raising_check(node, state, protection)
+        self._check_uses(node, state)
+        yields = [
+            inner
+            for inner in shallow_walk(node)
+            if isinstance(inner, (ast.Yield, ast.YieldFrom, ast.Await))
+        ]
+        yields.sort(key=lambda n: (n.lineno, n.col_offset))
+        for inner in yields:
+            self._yield_point(inner, state)
+
+    def _raising_check(self, node, state, protection):
+        if not state.held:
+            return
+        lo = getattr(node, "lineno", None)
+        if lo is None:
+            return
+        hi = getattr(node, "end_lineno", None) or lo
+        lines = [l for l in self.raising_lines if lo <= l <= hi]
+        if lines:
+            self._raise_check(min(lines), state, protection)
+
+    def _raise_check(self, line, state, protection):
+        if _HANDLERS in protection:
+            return  # the except-handler paths are analyzed on their own
+        protected = set()
+        for frame in protection:
+            if frame is not _HANDLERS and frame[0] == "finally":
+                protected |= frame[1]
+        for key in sorted(state.held):
+            if key in protected:
+                continue
+            acquired_line, _is_global = state.held[key]
+            self.leaks.add(
+                (
+                    line,
+                    1,
+                    "lane `%s` (acquired at line %d) leaks if line %d "
+                    "raises; release it in a `finally`, or catch the "
+                    "exception before it escapes %s"
+                    % (key, acquired_line, line, self.info.qualname),
+                )
+            )
+
+    def _exit_check(self, state, anchor, protection, how):
+        protected = set()
+        for frame in protection:
+            if frame is not _HANDLERS and frame[0] == "finally":
+                protected |= frame[1]
+        for key in sorted(state.held):
+            if key in protected:
+                continue
+            acquired_line, _is_global = state.held[key]
+            self.leaks.add(
+                (
+                    anchor.line,
+                    anchor.col,
+                    "task generator %s %s still holding lane `%s` "
+                    "(acquired at line %d); the loop raises "
+                    "SchedulerError for held lanes at task exit — "
+                    "yield Release on every path"
+                    % (self.info.qualname, how, key, acquired_line),
+                )
+            )
+
+    def _check_uses(self, node, state):
+        for inner in shallow_walk(node):
+            if not isinstance(inner, ast.Name):
+                continue
+            if not isinstance(inner.ctx, ast.Load):
+                continue
+            taint = state.taints.get(inner.id)
+            if taint is None or taint.stale_line is None:
+                continue
+            self.stale.add(
+                (
+                    inner.lineno,
+                    inner.col_offset + 1,
+                    "local '%s' (read from %s.%s at line %d) is used "
+                    "after the task may have been suspended at line "
+                    "%d; re-read it after the wait, hold the "
+                    "protecting lane across it, or suppress with a "
+                    "written reason"
+                    % (
+                        inner.id,
+                        taint.owner,
+                        taint.attr,
+                        taint.line,
+                        taint.stale_line,
+                    ),
+                )
+            )
+            del state.taints[inner.id]  # one finding per staleness episode
+
+    def _yield_point(self, node, state):
+        value = node.value
+        kind = None
+        key_info = None
+        if isinstance(node, ast.Yield) and isinstance(value, ast.Call):
+            kind = self._wait_kind(value)
+            if kind in ("acquire", "release"):
+                lane = (
+                    value.args[0]
+                    if value.args
+                    else _spawn_keyword(value, "lane")
+                )
+                if lane is not None:
+                    key_info = self._lane_key(lane)
+        if kind == "release" and key_info is not None:
+            key, _is_global = key_info
+            if key in state.held:
+                del state.held[key]
+            else:
+                self.leaks.add(
+                    (
+                        node.lineno,
+                        node.col_offset + 1,
+                        "%s yields Release for lane `%s` it does not "
+                        "hold on this path; the loop raises "
+                        "SchedulerError at runtime"
+                        % (self.info.qualname, key),
+                    )
+                )
+        self._mark_stale(state, node.lineno)
+        if kind == "acquire" and key_info is not None:
+            key, is_global = key_info
+            if key in state.held:
+                first_line, _g = state.held[key]
+                self.doubles.add(
+                    (
+                        node.lineno,
+                        node.col_offset + 1,
+                        "%s acquires lane `%s` again at line %d while "
+                        "already holding it (acquired at line %d); the "
+                        "task would wait on itself forever"
+                        % (self.info.qualname, key, node.lineno,
+                           first_line),
+                    )
+                )
+            else:
+                for held_key in sorted(state.held):
+                    self.edges.setdefault(
+                        (held_key, key), node.lineno
+                    )
+                state.held[key] = (node.lineno, is_global)
+
+    def _mark_stale(self, state, line):
+        for name in sorted(state.taints):
+            taint = state.taints[name]
+            if taint.stale_line is not None:
+                continue
+            if taint.held and taint.held & set(state.held):
+                continue  # a protecting lane is still held
+            state.taints[name] = replace(taint, stale_line=line)
+
+    # -- assignments --
+
+    def _target_names(self, target):
+        if isinstance(target, ast.Name):
+            return [target.id]
+        if isinstance(target, (ast.Tuple, ast.List)):
+            names = []
+            for elt in target.elts:
+                names.extend(self._target_names(elt))
+            return names
+        if isinstance(target, ast.Starred):
+            return self._target_names(target.value)
+        return []
+
+    def _assign_targets(self, targets, loads, state, alias=None):
+        for target in targets:
+            names = self._target_names(target)
+            for name in names:
+                if loads:
+                    owner, attr, line = loads[0]
+                    state.taints[name] = _Taint(
+                        owner, attr, line, frozenset(state.held)
+                    )
+                elif (
+                    alias is not None
+                    and isinstance(alias, ast.Name)
+                    and alias.id in state.taints
+                    and len(names) == 1
+                ):
+                    state.taints[name] = state.taints[alias.id]
+                else:
+                    state.taints.pop(name, None)
+
+    def _clear_targets(self, targets, state):
+        for target in targets:
+            for name in self._target_names(target):
+                state.taints.pop(name, None)
+
+
+# --- Discipline findings ------------------------------------------------------
+
+
+@dataclass
+class Discipline:
+    """The per-tree result of scanning every task generator."""
+
+    stale: list = field(default_factory=list)
+    leaks: list = field(default_factory=list)
+    doubles: list = field(default_factory=list)
+    cycles: list = field(default_factory=list)
+    #: (held_key, acquired_key) -> (module, line) — the lane-order graph.
+    order_edges: dict = field(default_factory=dict)
+
+
+def _canonical_cycle(path):
+    pivot = path.index(min(path))
+    return tuple(path[pivot:] + path[:pivot])
+
+
+def _find_cycles(adjacency):
+    cycles = set()
+    for start in sorted(adjacency):
+        stack = [(start, [start])]
+        while stack:
+            node, path = stack.pop()
+            for nxt in sorted(adjacency.get(node, ())):
+                if nxt == start:
+                    cycles.add(_canonical_cycle(path))
+                elif nxt not in path and len(path) < 16:
+                    stack.append((nxt, path + [nxt]))
+    return sorted(cycles)
+
+
+def lane_discipline(project):
+    """Scan every task generator once; cache the combined findings."""
+
+    def build():
+        analysis = effect_analysis(project)
+        yanal = yield_analysis(project)
+        sensitive = stale_sensitive_keys(project)
+        out = Discipline()
+        for qualname in sorted(yanal.task_generators):
+            info = analysis.graph.functions.get(qualname)
+            if info is None:
+                continue
+            scan = _TaskScan(analysis, yanal, info, sensitive)
+            scan.run()
+            module = info.module
+            for line, col, message in sorted(scan.stale):
+                out.stale.append(
+                    (module, _line_anchor(line, col), message)
+                )
+            for line, col, message in sorted(scan.leaks):
+                out.leaks.append(
+                    (module, _line_anchor(line, col), message)
+                )
+            for line, col, message in sorted(scan.doubles):
+                out.doubles.append(
+                    (module, _line_anchor(line, col), message)
+                )
+            for pair, line in scan.edges.items():
+                out.order_edges.setdefault(pair, (module, line))
+        adjacency = {}
+        for held_key, acquired_key in out.order_edges:
+            adjacency.setdefault(held_key, set()).add(acquired_key)
+        for cycle in _find_cycles(adjacency):
+            first = (cycle[0], cycle[(1) % len(cycle)])
+            module, line = out.order_edges[first]
+            chain = " -> ".join(cycle + (cycle[0],))
+            out.cycles.append(
+                (
+                    module,
+                    _line_anchor(line),
+                    "lanes are acquired in a cycle: %s; two tasks "
+                    "running these paths can deadlock — pick one "
+                    "global acquisition order" % chain,
+                )
+            )
+        return out
+
+    return project.cached("lane_discipline", build)
+
+
+# --- Rule engines -------------------------------------------------------------
+
+
+def stale_read_findings(project):
+    return lane_discipline(project).stale
+
+
+def lane_leak_findings(project):
+    return lane_discipline(project).leaks
+
+
+def lane_double_acquire_findings(project):
+    return lane_discipline(project).doubles
+
+
+def lane_order_cycle_findings(project):
+    return lane_discipline(project).cycles
+
+
+def bad_yield_findings(project):
+    """Yields of non-instruction values inside task generators."""
+    yanal = yield_analysis(project)
+    graph = yanal.graph
+    findings = []
+    for qualname in sorted(yanal.task_generators):
+        info = graph.functions.get(qualname)
+        if info is None:
+            continue
+        aliases = set()
+        for node in shallow_walk(info.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            if not _wait_call_kind(
+                graph, qualname, yanal.resolved[qualname], node.value
+            ):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    aliases.add(target.id)
+        for node, kind in yanal.own_sites.get(qualname, ()):
+            if kind == "yield":
+                value = node.value
+                if value is None:
+                    findings.append(
+                        (
+                            info.module,
+                            node,
+                            "bare `yield` in task generator %s; the "
+                            "loop rejects non-instruction values with "
+                            "SchedulerError — yield a wait instruction "
+                            "(Delay/At/Acquire/Release/Join)" % qualname,
+                        )
+                    )
+                    continue
+                if isinstance(value, ast.Call) and _wait_call_kind(
+                    graph, qualname, yanal.resolved[qualname], value
+                ):
+                    continue
+                if isinstance(value, ast.Name) and value.id in aliases:
+                    continue
+                findings.append(
+                    (
+                        info.module,
+                        node,
+                        "task generator %s yields %s, which is not a "
+                        "wait instruction; the loop rejects it with "
+                        "SchedulerError at runtime"
+                        % (qualname, _describe_value(value)),
+                    )
+                )
+            elif kind == "yield from":
+                value = node.value
+                targets = (
+                    yanal.resolved[qualname].get(id(value), ())
+                    if isinstance(value, ast.Call)
+                    else ()
+                )
+                if any(t in yanal.task_generators for t in targets):
+                    continue
+                findings.append(
+                    (
+                        info.module,
+                        node,
+                        "`yield from` in task generator %s delegates "
+                        "to %s, which the analysis cannot identify as "
+                        "a task generator; delegate only to generators "
+                        "that yield wait instructions"
+                        % (qualname, _describe_value(value)),
+                    )
+                )
+    return findings
+
+
+def _describe_value(value):
+    chain = dotted(value)
+    if chain:
+        return "`%s`" % ".".join(chain)
+    if isinstance(value, ast.Call):
+        chain = dotted(value.func)
+        if chain:
+            return "`%s(...)`" % ".".join(chain)
+        return "a call result"
+    if isinstance(value, ast.Constant):
+        return repr(value.value)
+    return "a %s value" % type(value).__name__.lower()
+
+
+def return_in_daemon_findings(project):
+    """``return`` statements inside daemon task generators."""
+    yanal = yield_analysis(project)
+    graph = yanal.graph
+    findings = []
+    for qualname in sorted(yanal.daemons):
+        info = graph.functions.get(qualname)
+        if info is None:
+            continue
+        for node in shallow_walk(info.node):
+            if isinstance(node, ast.Return):
+                findings.append(
+                    (
+                        info.module,
+                        node,
+                        "daemon task generator %s returns; a daemon "
+                        "that finishes stops its background service "
+                        "silently — loop forever, or spawn it as a "
+                        "non-daemon task whose completion is joined"
+                        % qualname,
+                    )
+                )
+    return findings
+
+
+# --- Contract-report helpers --------------------------------------------------
+
+
+def site_summary(sites):
+    """Deterministic one-cell summary of a function's own yield sites."""
+    by_kind = {}
+    for node, kind in sites:
+        by_kind.setdefault(kind, []).append(node.lineno)
+    parts = []
+    for kind in sorted(by_kind):
+        lines = sorted(set(by_kind[kind]))
+        shown = ", ".join(str(line) for line in lines[:4])
+        if len(lines) > 4:
+            shown += ", +%d more" % (len(lines) - 4)
+        parts.append(
+            "%s (line%s %s)"
+            % (kind, "s" if len(lines) > 1 else "", shown)
+        )
+    return "; ".join(parts)
+
+
+def root_yield_points(project):
+    """Per schedulable root: the may-yield functions in its reach.
+
+    Returns ``{root name: (own, transitive)}`` where ``own`` is a
+    sorted list of ``(qualname, summary)`` for reached functions with
+    their own suspension sites and ``transitive`` is the sorted list of
+    reached functions that may suspend only through callees.
+    """
+    yanal = yield_analysis(project)
+    inventory = build_inventory(project)
+    out = {}
+    for root in model.schedulable_roots():
+        reach = inventory.reach.get(root.name)
+        if reach is None:
+            continue
+        own = []
+        transitive = []
+        for qualname in reach:
+            if qualname in yanal.own_sites:
+                own.append(
+                    (qualname, site_summary(yanal.own_sites[qualname]))
+                )
+            elif qualname in yanal.may_yield:
+                transitive.append(qualname)
+        out[root.name] = (own, transitive)
+    return out

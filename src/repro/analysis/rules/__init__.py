@@ -6,6 +6,7 @@ from repro.analysis.rules import (  # noqa: F401  (import-for-effect)
     determinism,
     hygiene,
     layering,
+    observability,
     suppressions,
     whole_program,
 )

@@ -6,7 +6,7 @@ per module, so suppressions, SARIF and the cache behave exactly like
 every other deep pack.
 """
 
-from repro.analysis.concurrency import atomicity, shared_state
+from repro.analysis.concurrency import atomicity, shared_state, yields
 from repro.analysis.core import LintRule, register
 from repro.analysis.effects import effect_analysis
 
@@ -93,7 +93,12 @@ class YieldInAtomicRule(_ConcurrencyRule):
     def _evaluate(self, project):
         analysis = effect_analysis(project)
         index = atomicity.atomic_index(project)
-        return atomicity.yield_findings(analysis, index)
+        task_generators = frozenset(
+            yields.yield_analysis(project).task_generators
+        )
+        return atomicity.yield_findings(
+            analysis, index, task_generators=task_generators
+        )
 
 
 @register
@@ -122,3 +127,76 @@ class MalformedAtomicRule(_ConcurrencyRule):
         effect_analysis(project)  # builds the graph the index reads
         index = atomicity.atomic_index(project)
         return list(index.malformed)
+
+
+@register
+class StaleReadAfterYieldRule(_ConcurrencyRule):
+    rule_id = "concurrency-stale-read-after-yield"
+    description = (
+        "a local derived from policy-classified shared state must be "
+        "re-read after the task may have been suspended"
+    )
+
+    def _evaluate(self, project):
+        return yields.stale_read_findings(project)
+
+
+@register
+class LaneLeakRule(_ConcurrencyRule):
+    rule_id = "concurrency-lane-leak"
+    description = (
+        "every Acquire must be matched by a Release on every path out "
+        "of the task generator, exception edges included"
+    )
+
+    def _evaluate(self, project):
+        return yields.lane_leak_findings(project)
+
+
+@register
+class LaneDoubleAcquireRule(_ConcurrencyRule):
+    rule_id = "concurrency-lane-double-acquire"
+    description = (
+        "re-acquiring a lane the task already holds deadlocks the "
+        "task on itself (lanes are unit-capacity and non-reentrant)"
+    )
+
+    def _evaluate(self, project):
+        return yields.lane_double_acquire_findings(project)
+
+
+@register
+class LaneOrderCycleRule(_ConcurrencyRule):
+    rule_id = "concurrency-lane-order-cycle"
+    description = (
+        "the static holds-while-acquiring graph over lanes must be "
+        "acyclic; a cycle is cross-task deadlock potential"
+    )
+
+    def _evaluate(self, project):
+        return yields.lane_order_cycle_findings(project)
+
+
+@register
+class BadYieldValueRule(_ConcurrencyRule):
+    rule_id = "concurrency-bad-yield-value"
+    description = (
+        "a task generator may only yield wait instructions "
+        "(Delay/At/Acquire/Release/Join) or delegate to another task "
+        "generator"
+    )
+
+    def _evaluate(self, project):
+        return yields.bad_yield_findings(project)
+
+
+@register
+class ReturnInDaemonRule(_ConcurrencyRule):
+    rule_id = "concurrency-return-in-daemon"
+    description = (
+        "a daemon task generator must not return; a finished daemon "
+        "stops its background service silently"
+    )
+
+    def _evaluate(self, project):
+        return yields.return_in_daemon_findings(project)

@@ -129,9 +129,16 @@ def _make_cache(args, rules):
     if args.no_cache:
         return None
     from repro.analysis.cache import DEFAULT_CACHE_DIR, ResultCache
+    from repro.analysis.rules.observability import catalog_fingerprint
 
     directory = args.cache_dir or DEFAULT_CACHE_DIR
-    return ResultCache(directory, [rule.rule_id for rule in rules])
+    return ResultCache(
+        directory,
+        [rule.rule_id for rule in rules],
+        # The obs pack reads docs/OBSERVABILITY.md, which file shas
+        # cannot see — fold its content into the signature.
+        extra=catalog_fingerprint(args.paths),
+    )
 
 
 def _print_unresolved(paths):

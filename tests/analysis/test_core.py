@@ -24,6 +24,7 @@ def test_registry_has_all_packs():
         "effects",
         "domains",
         "concurrency",
+        "obs",
     }
     ids = [rule.rule_id for rule in all_rules()]
     assert len(ids) == len(set(ids))
